@@ -1,0 +1,240 @@
+//! Byte-level model of a ptmalloc-style main heap (allocated area, top
+//! chunk, program break, recycle bins), shared by the Glibc and Hermes
+//! simulated allocators.
+//!
+//! Physical effects (faults, frames) are charged against `hermes-os` by
+//! the embedding allocator; this model tracks the *address-space* geometry
+//! that decides when those effects occur.
+
+use hermes_os::config::PAGE_SIZE;
+use std::collections::HashMap;
+
+const CHUNK_OVERHEAD: usize = 16;
+const CHUNK_ALIGN: usize = 16;
+
+/// Outcome of a small allocation against the heap model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmallAlloc {
+    /// Served from a recycle bin: memory already touched.
+    Recycled {
+        /// Pages the chunk spans (for swap-in probes under pressure).
+        pages: u64,
+    },
+    /// Carved from the top chunk / fresh break extension.
+    Fresh {
+        /// Never-touched pages that fault on first write.
+        new_pages: u64,
+        /// Whether the program break had to grow (`sbrk` call).
+        grew_break: bool,
+    },
+}
+
+/// The heap-geometry model.
+#[derive(Debug, Clone)]
+pub struct HeapModel {
+    /// End of the allocated area, bytes from heap start.
+    used: usize,
+    /// Touch high-water mark (virtual-physical mappings constructed).
+    touched: usize,
+    /// Program break.
+    brk: usize,
+    /// Free chunks by size class: class -> count.
+    bins: HashMap<usize, u64>,
+    binned_bytes: usize,
+}
+
+impl Default for HeapModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapModel {
+    /// An empty heap.
+    pub fn new() -> Self {
+        HeapModel {
+            used: 0,
+            touched: 0,
+            brk: 0,
+            bins: HashMap::new(),
+            binned_bytes: 0,
+        }
+    }
+
+    fn class_of(size: usize) -> usize {
+        (size + CHUNK_OVERHEAD).div_ceil(CHUNK_ALIGN) * CHUNK_ALIGN
+    }
+
+    /// Pages spanned by a chunk of `size` bytes.
+    pub fn pages_of(size: usize) -> u64 {
+        (Self::class_of(size)).div_ceil(PAGE_SIZE) as u64
+    }
+
+    /// Bytes in recycle bins.
+    pub fn binned_bytes(&self) -> usize {
+        self.binned_bytes
+    }
+
+    /// Free space in the top chunk (break minus allocated area).
+    pub fn top_free(&self) -> usize {
+        self.brk - self.used
+    }
+
+    /// Touched-but-unallocated bytes: memory that can be handed out
+    /// without any fault (Hermes' committed reserve).
+    pub fn reserve_ready(&self) -> usize {
+        self.touched.saturating_sub(self.used)
+    }
+
+    /// Program break in bytes.
+    pub fn brk_bytes(&self) -> usize {
+        self.brk
+    }
+
+    /// Allocates a small chunk, preferring the recycle bins.
+    pub fn alloc_small(&mut self, size: usize) -> SmallAlloc {
+        let class = Self::class_of(size);
+        if let Some(n) = self.bins.get_mut(&class) {
+            if *n > 0 {
+                *n -= 1;
+                self.binned_bytes -= class;
+                return SmallAlloc::Recycled {
+                    pages: Self::pages_of(size),
+                };
+            }
+        }
+        let grew = self.used + class > self.brk;
+        if grew {
+            // Glibc expands by exactly the shortfall, page-rounded.
+            self.brk = (self.used + class).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        }
+        self.used += class;
+        let new_pages = if self.used > self.touched {
+            let target = self.used.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            let pages = (target - self.touched.div_ceil(PAGE_SIZE) * PAGE_SIZE) / PAGE_SIZE;
+            self.touched = target;
+            pages as u64
+        } else {
+            0
+        };
+        SmallAlloc::Fresh {
+            new_pages,
+            grew_break: grew,
+        }
+    }
+
+    /// Frees a small chunk back into its recycle bin.
+    pub fn free_small(&mut self, size: usize) {
+        let class = Self::class_of(size);
+        *self.bins.entry(class).or_insert(0) += 1;
+        self.binned_bytes += class;
+    }
+
+    /// Extends the break *and* the touch watermark by `bytes`
+    /// (the management thread's reservation step: `sbrk` + `mlock`).
+    /// Returns the newly touched pages.
+    pub fn reserve(&mut self, bytes: usize) -> u64 {
+        let target = (self.touched + bytes).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let pages = (target - self.touched.div_ceil(PAGE_SIZE) * PAGE_SIZE) / PAGE_SIZE;
+        self.touched = target;
+        self.brk = self.brk.max(self.touched);
+        pages as u64
+    }
+
+    /// Shrinks the top chunk to `keep` bytes (negative `sbrk`). Returns
+    /// the released, previously touched pages (to hand back to the OS).
+    pub fn trim(&mut self, keep: usize) -> u64 {
+        let new_brk = (self.used + keep).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        if new_brk >= self.brk {
+            return 0;
+        }
+        self.brk = new_brk;
+        if self.touched > self.brk {
+            let released = (self.touched - self.brk) / PAGE_SIZE;
+            self.touched = self.brk;
+            released as u64
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_allocations_fault_about_every_fourth_1kb() {
+        let mut h = HeapModel::new();
+        let mut faults = 0u64;
+        for _ in 0..400 {
+            if let SmallAlloc::Fresh { new_pages, .. } = h.alloc_small(1024) {
+                faults += new_pages;
+            }
+        }
+        // 400 x 1040B chunks = 416000B ≈ 101.6 pages.
+        assert!((95..=110).contains(&faults), "faults {faults}");
+    }
+
+    #[test]
+    fn recycle_bins_serve_exact_classes() {
+        let mut h = HeapModel::new();
+        h.alloc_small(1024);
+        h.free_small(1024);
+        assert!(h.binned_bytes() > 0);
+        match h.alloc_small(1024) {
+            SmallAlloc::Recycled { pages } => assert_eq!(pages, 1),
+            other => panic!("expected recycle, got {other:?}"),
+        }
+        assert_eq!(h.binned_bytes(), 0);
+        // A different class does not hit the bin.
+        h.free_small(1024);
+        assert!(matches!(h.alloc_small(512), SmallAlloc::Fresh { .. }));
+    }
+
+    #[test]
+    fn reserve_eliminates_faults() {
+        let mut h = HeapModel::new();
+        let pages = h.reserve(64 * 1024);
+        assert_eq!(pages, 16);
+        assert_eq!(h.reserve_ready(), 64 * 1024);
+        for _ in 0..60 {
+            match h.alloc_small(1024) {
+                SmallAlloc::Fresh { new_pages, grew_break } => {
+                    assert_eq!(new_pages, 0, "reserved memory never faults");
+                    assert!(!grew_break, "break already extended");
+                }
+                SmallAlloc::Recycled { .. } => panic!("no frees yet"),
+            }
+        }
+        assert!(h.reserve_ready() < 64 * 1024);
+    }
+
+    #[test]
+    fn trim_releases_touched_pages() {
+        let mut h = HeapModel::new();
+        h.reserve(128 * 1024);
+        let released = h.trim(4096);
+        assert!(released > 0);
+        assert!(h.top_free() <= 8192);
+        assert_eq!(h.trim(4096), 0, "second trim is a no-op");
+    }
+
+    #[test]
+    fn break_grows_by_shortfall() {
+        let mut h = HeapModel::new();
+        match h.alloc_small(100) {
+            SmallAlloc::Fresh { grew_break, .. } => assert!(grew_break),
+            _ => unreachable!(),
+        }
+        assert_eq!(h.brk_bytes(), PAGE_SIZE);
+        // Next small alloc fits in the top chunk.
+        match h.alloc_small(100) {
+            SmallAlloc::Fresh { grew_break, new_pages } => {
+                assert!(!grew_break);
+                assert_eq!(new_pages, 0);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The simulated-allocator interface shared by all four models.
+
+use hermes_os::prelude::*;
+use hermes_sim::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Which allocator model is in use (the paper's comparison set, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocatorKind {
+    /// Stock Glibc ptmalloc (the paper's primary baseline).
+    Glibc,
+    /// jemalloc (Redis' default allocator).
+    Jemalloc,
+    /// TCMalloc (Google's thread-caching malloc).
+    Tcmalloc,
+    /// Hermes (the paper's contribution).
+    Hermes,
+}
+
+impl AllocatorKind {
+    /// All four kinds, in the paper's plotting order.
+    pub const ALL: [AllocatorKind; 4] = [
+        AllocatorKind::Hermes,
+        AllocatorKind::Glibc,
+        AllocatorKind::Jemalloc,
+        AllocatorKind::Tcmalloc,
+    ];
+
+    /// Display name used in tables and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::Glibc => "Glibc",
+            AllocatorKind::Jemalloc => "jemalloc",
+            AllocatorKind::Tcmalloc => "TCMalloc",
+            AllocatorKind::Hermes => "Hermes",
+        }
+    }
+}
+
+impl fmt::Display for AllocatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Opaque handle to a live simulated allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocHandle(pub u64);
+
+/// A simulated user-space allocator bound to one process.
+///
+/// All operations take the current virtual instant and the shared OS; they
+/// return the latency the calling thread experiences. Implementations
+/// fast-forward their background activity (management threads, decay
+/// purging) before serving the foreground operation.
+pub trait SimAllocator {
+    /// Which model this is.
+    fn kind(&self) -> AllocatorKind;
+
+    /// The process this allocator belongs to.
+    fn proc_id(&self) -> ProcId;
+
+    /// Fast-forwards background work to `now`.
+    fn advance_to(&mut self, now: SimTime, os: &mut Os);
+
+    /// `malloc(size)` followed by the first write to the returned memory
+    /// (the paper measures allocation latency through data insertion, so
+    /// mapping-construction faults are part of the cost).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] when physical memory cannot be obtained.
+    fn malloc(
+        &mut self,
+        size: usize,
+        now: SimTime,
+        os: &mut Os,
+    ) -> Result<(AllocHandle, SimDuration), MemError>;
+
+    /// `free` of a live handle. Returns the (small) latency.
+    fn free(&mut self, handle: AllocHandle, now: SimTime, os: &mut Os) -> SimDuration;
+
+    /// Touches `bytes` of a live allocation (data access by the service);
+    /// may stall on swap-in under pressure.
+    fn access(&mut self, handle: AllocHandle, bytes: usize, now: SimTime, os: &mut Os)
+        -> SimDuration;
+
+    /// Reserved-but-unused bytes (Hermes overhead metric, §5.5); zero for
+    /// the baselines.
+    fn reserved_unused(&self) -> usize {
+        0
+    }
+
+    /// Cumulative management-thread busy time (§5.5); zero for baselines.
+    fn management_busy(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(AllocatorKind::Glibc.name(), "Glibc");
+        assert_eq!(AllocatorKind::Hermes.to_string(), "Hermes");
+        assert_eq!(AllocatorKind::ALL.len(), 4);
+    }
+}

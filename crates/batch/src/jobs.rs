@@ -1,0 +1,370 @@
+//! Best-effort batch jobs for co-location (§5.3): Spark-KMeans-like jobs
+//! running in containers, with configurable memory oversubscription levels
+//! and the three management policies of Table 1.
+
+use hermes_os::prelude::*;
+use hermes_sim::rng::DetRng;
+use hermes_sim::time::{SimDuration, SimTime};
+
+/// How the node deals with batch jobs under pressure (Table 1 scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Plain co-location on the default stack.
+    Default,
+    /// Co-location with Hermes (the daemon may drop batch file cache).
+    Hermes,
+    /// Kill the latest-launched container when node memory runs short.
+    Killing,
+}
+
+/// Specification of one batch job (HiBench-style Spark KMeans).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Containers per job (the paper uses 8 Yarn containers).
+    pub containers: usize,
+    /// Memory target per container in bytes (~5 GB for a 40 GB job).
+    pub mem_per_container: usize,
+    /// Input data read per container (populates the file cache).
+    pub input_bytes: usize,
+    /// Nominal job duration on an unloaded node.
+    pub base_duration: SimDuration,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            containers: 8,
+            mem_per_container: 5 << 30,
+            input_bytes: 1 << 30,
+            base_duration: SimDuration::from_secs(11 * 60),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Container {
+    proc: ProcId,
+    target_pages: u64,
+    allocated_pages: u64,
+    input: FileId,
+    input_read: usize,
+    /// Work completed in [0, 1].
+    progress: f64,
+    /// When a killed container may restart.
+    restart_at: Option<SimTime>,
+    launched_at: SimTime,
+}
+
+/// A fleet of continuously running batch jobs.
+#[derive(Debug)]
+pub struct BatchLoad {
+    spec: JobSpec,
+    policy: BatchPolicy,
+    containers: Vec<Container>,
+    /// Finished jobs (each completed container set counts fractionally).
+    completed_jobs: f64,
+    kills: u64,
+    last_step: SimTime,
+    step: SimDuration,
+    rng: DetRng,
+}
+
+impl BatchLoad {
+    /// Launches `concurrent_jobs` jobs sized so their combined logical
+    /// memory equals `pressure_level` × node RAM (e.g. 1.5 for the 150 %
+    /// level). `concurrent_jobs = 0` gives the *Dedicated* scenario.
+    pub fn new(
+        os: &mut Os,
+        spec: JobSpec,
+        policy: BatchPolicy,
+        concurrent_jobs: usize,
+        pressure_level: f64,
+        seed: u64,
+    ) -> Result<Self, MemError> {
+        let total_containers = spec.containers * concurrent_jobs;
+        let mut spec = spec;
+        if total_containers > 0 {
+            let logical_total = (os.config().total_ram as f64 * pressure_level) as usize;
+            spec.mem_per_container = logical_total / total_containers;
+        }
+        let mut containers = Vec::new();
+        for _ in 0..total_containers {
+            let proc = os.register_process(ProcKind::Batch);
+            let input = os.create_file(proc, spec.input_bytes)?;
+            containers.push(Container {
+                proc,
+                target_pages: pages_for(spec.mem_per_container),
+                allocated_pages: 0,
+                input,
+                input_read: 0,
+                progress: 0.0,
+                restart_at: None,
+                launched_at: SimTime::ZERO,
+            });
+        }
+        Ok(BatchLoad {
+            spec,
+            policy,
+            containers,
+            completed_jobs: 0.0,
+            kills: 0,
+            last_step: SimTime::ZERO,
+            step: SimDuration::from_millis(500),
+            rng: DetRng::new(seed, "batch"),
+        })
+    }
+
+    /// Jobs completed so far.
+    pub fn completed_jobs(&self) -> u64 {
+        self.completed_jobs as u64
+    }
+
+    /// Containers killed by the killing policy.
+    pub fn kills(&self) -> u64 {
+        self.kills
+    }
+
+    /// Combined resident pages of all containers.
+    pub fn resident_pages(&self, os: &Os) -> u64 {
+        self.containers
+            .iter()
+            .filter_map(|c| os.process(c.proc))
+            .map(|p| p.anon_resident + p.locked)
+            .sum()
+    }
+
+    /// Emulates the kernel OOM killer: terminates the newest container
+    /// holding memory, freeing its pages (and swap slots) immediately.
+    /// Returns `false` when no container can be killed.
+    pub fn oom_kill_newest(&mut self, now: SimTime, os: &mut Os) -> bool {
+        let Some(idx) = self
+            .containers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.restart_at.is_none() && c.allocated_pages > 0)
+            .max_by_key(|(i, c)| (c.launched_at, *i))
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        let c = &mut self.containers[idx];
+        os.remove_process(c.proc);
+        c.proc = os.register_process(ProcKind::Batch);
+        c.allocated_pages = 0;
+        c.input_read = 0;
+        c.progress = 0.0;
+        c.restart_at = Some(now + SimDuration::from_secs(30));
+        self.kills += 1;
+        true
+    }
+
+    /// Advances all containers to `now`, allocating memory, reading
+    /// input, making progress and applying the batch policy.
+    pub fn advance_to(&mut self, now: SimTime, os: &mut Os) {
+        while self.last_step + self.step <= now {
+            let t = self.last_step + self.step;
+            self.last_step = t;
+            self.step_once(t, os);
+        }
+    }
+
+    fn step_once(&mut self, t: SimTime, os: &mut Os) {
+        let n = self.containers.len();
+        if n == 0 {
+            return;
+        }
+        // Killing policy: free memory short -> kill the newest container.
+        if self.policy == BatchPolicy::Killing && os.free_bytes() < (2usize << 30) {
+            if let Some(idx) = self
+                .containers
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.restart_at.is_none() && c.allocated_pages > 0)
+                .max_by_key(|(i, c)| (c.launched_at, *i))
+                .map(|(i, _)| i)
+            {
+                let c = &mut self.containers[idx];
+                os.remove_process(c.proc);
+                c.proc = os.register_process(ProcKind::Batch);
+                c.allocated_pages = 0;
+                c.input_read = 0;
+                c.progress = 0.0;
+                c.restart_at = Some(t + SimDuration::from_secs(30));
+                self.kills += 1;
+            }
+        }
+        let step_secs = self.step.as_secs_f64();
+        let per_container_work = step_secs / self.spec.base_duration.as_secs_f64();
+        for idx in 0..n {
+            let c = &mut self.containers[idx];
+            if let Some(at) = c.restart_at {
+                if t < at {
+                    continue;
+                }
+                c.restart_at = None;
+                c.launched_at = t;
+            }
+            // Working sets cycle with Spark stages and JVM GC: containers
+            // peak at their target in alternating half-periods and drop to
+            // ~70 % in between, so aggregate demand oscillates instead of
+            // pinning the node permanently (this is what gives proactive
+            // reclamation something to win during peaks).
+            let wave = (t.as_secs() / 8) % 2;
+            let duty = if wave == (idx % 2) as u64 { 1.0 } else { 0.7 };
+            let eff_target = (c.target_pages as f64 * duty) as u64;
+            if c.allocated_pages > eff_target {
+                let release = c.allocated_pages - eff_target;
+                os.release_anon(c.proc, release, false);
+                c.allocated_pages = eff_target;
+            } else if c.allocated_pages < eff_target {
+                let slice = (c.target_pages / 48).max(pages_for(16 << 20));
+                let want = slice.min(eff_target - c.allocated_pages);
+                match os.alloc_anon(c.proc, want, FaultPath::HeapTouch, t) {
+                    Ok(_) => c.allocated_pages += want,
+                    Err(_) => {
+                        // Node full: under Default/Hermes the container
+                        // just stalls and retries (swap does its thing).
+                    }
+                }
+            }
+            // Stream the input file (refreshes the cache periodically).
+            // Cache misses (cold reads, or re-reads after the Hermes
+            // daemon dropped the cache) stall the container's compute.
+            let mut io_stall = 0.0;
+            if c.input_read < self.spec.input_bytes {
+                // HiBench-style jobs stream their input aggressively and
+                // repeatedly, keeping gigabytes of it in the page cache.
+                let chunk = (self.spec.input_bytes / 16).max(1 << 20);
+                if let Ok(lat) = os.read_file(c.input, chunk, t) {
+                    c.input_read += chunk;
+                    io_stall = (lat.as_secs_f64() / self.step.as_secs_f64()).min(1.0);
+                }
+            } else {
+                // Iterative jobs re-scan their input.
+                c.input_read = 0;
+            }
+            // Compute progress, slowed by swap stalls.
+            let stall = os
+                .process(c.proc)
+                .map(|p| {
+                    let total = p.anon_resident + p.swapped + p.locked;
+                    if total == 0 {
+                        0.0
+                    } else {
+                        p.swapped as f64 / total as f64
+                    }
+                })
+                .unwrap_or(0.0);
+            let mem_ready = if c.target_pages == 0 {
+                1.0
+            } else {
+                (c.allocated_pages as f64 / c.target_pages as f64).min(1.0)
+            };
+            let jitter = 0.9 + 0.2 * self.rng.unit();
+            c.progress += per_container_work
+                * (1.0 - 0.92 * stall)
+                * (1.0 - 0.35 * io_stall)
+                * mem_ready
+                * jitter;
+            if c.progress >= 1.0 {
+                // Container done: its share of a job completes and the
+                // next job's container takes its place.
+                self.completed_jobs += 1.0 / self.spec.containers as f64;
+                c.progress = 0.0;
+                c.input_read = 0;
+                os.release_anon(c.proc, c.allocated_pages, false);
+                c.allocated_pages = 0;
+                c.launched_at = t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_os::config::OsConfig;
+
+    fn small_spec() -> JobSpec {
+        JobSpec {
+            containers: 2,
+            mem_per_container: 32 << 20,
+            input_bytes: 16 << 20,
+            base_duration: SimDuration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn jobs_complete_over_time() {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let mut load =
+            BatchLoad::new(&mut os, small_spec(), BatchPolicy::Default, 2, 0.25, 1).unwrap();
+        load.advance_to(SimTime::from_secs(200), &mut os);
+        assert!(
+            load.completed_jobs() >= 4,
+            "completed {}",
+            load.completed_jobs()
+        );
+        assert_eq!(load.kills(), 0);
+    }
+
+    #[test]
+    fn zero_jobs_is_dedicated() {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let mut load =
+            BatchLoad::new(&mut os, small_spec(), BatchPolicy::Default, 0, 0.0, 1).unwrap();
+        load.advance_to(SimTime::from_secs(100), &mut os);
+        assert_eq!(load.completed_jobs(), 0);
+        assert_eq!(load.resident_pages(&os), 0);
+    }
+
+    #[test]
+    fn oversubscription_causes_swapping() {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let mut load =
+            BatchLoad::new(&mut os, small_spec(), BatchPolicy::Default, 2, 1.5, 1).unwrap();
+        load.advance_to(SimTime::from_secs(120), &mut os);
+        let swapped: u64 = (1..20)
+            .filter_map(|i| os.process(ProcId(i)).map(|p| p.swapped))
+            .sum();
+        assert!(swapped > 0, "1.5x oversubscription must swap");
+    }
+
+    #[test]
+    fn killing_policy_kills_and_costs_throughput() {
+        let mut os_a = Os::new(OsConfig::small_test_node());
+        let mut def =
+            BatchLoad::new(&mut os_a, small_spec(), BatchPolicy::Default, 2, 1.5, 1).unwrap();
+        def.advance_to(SimTime::from_secs(300), &mut os_a);
+
+        let mut os_b = Os::new(OsConfig::small_test_node());
+        let mut kill =
+            BatchLoad::new(&mut os_b, small_spec(), BatchPolicy::Killing, 2, 1.5, 1).unwrap();
+        kill.advance_to(SimTime::from_secs(300), &mut os_b);
+
+        assert!(kill.kills() > 0, "killing policy fired");
+        assert!(
+            kill.completed_jobs() <= def.completed_jobs(),
+            "killing {} vs default {}",
+            kill.completed_jobs(),
+            def.completed_jobs()
+        );
+    }
+
+    #[test]
+    fn progress_slows_under_pressure() {
+        // Same spec, low vs high pressure: low finishes more.
+        let mut os_lo = Os::new(OsConfig::small_test_node());
+        let mut lo = BatchLoad::new(&mut os_lo, small_spec(), BatchPolicy::Default, 2, 0.3, 2).unwrap();
+        lo.advance_to(SimTime::from_secs(240), &mut os_lo);
+        let mut os_hi = Os::new(OsConfig::small_test_node());
+        let mut hi = BatchLoad::new(&mut os_hi, small_spec(), BatchPolicy::Default, 2, 1.6, 2).unwrap();
+        hi.advance_to(SimTime::from_secs(240), &mut os_hi);
+        assert!(
+            hi.completed_jobs() <= lo.completed_jobs(),
+            "high pressure {} vs low {}",
+            hi.completed_jobs(),
+            lo.completed_jobs()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! # hermes-batch — best-effort batch jobs and pressure generators
+//!
+//! The co-location counterpart of the latency-critical services:
+//!
+//! * [`pressure`] — the micro benchmark's two pressure kinds (§2.2, §5.2):
+//!   [`pressure::AnonHog`] (anonymous pages: reclaim must swap) and
+//!   [`pressure::FileHog`] (a 10 GB file set plus anonymous filler:
+//!   reclaim can drop clean cache).
+//! * [`jobs`] — Spark-KMeans-like batch jobs in containers with
+//!   configurable memory-oversubscription levels (50–150 % of node RAM)
+//!   and the Table 1 policies (Default / Hermes / Killing).
+
+#![warn(missing_docs)]
+
+pub mod jobs;
+pub mod pressure;
+
+pub use jobs::{BatchLoad, BatchPolicy, JobSpec};
+pub use pressure::{AnonHog, FileHog, DEFAULT_FREE_FLOOR};

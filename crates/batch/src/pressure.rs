@@ -1,0 +1,199 @@
+//! The micro-benchmark pressure generators (§2.2, §5.2).
+//!
+//! * [`AnonHog`] — "a process that keeps allocating memory until the
+//!   system available memory drops below ~300 MB". Everything it holds is
+//!   anonymous, so reclaim must swap.
+//! * [`FileHog`] — "repeatedly reads 10 GB files and occupies the rest of
+//!   the system memory with anonymous pages": reclaim can drop clean file
+//!   cache cheaply.
+
+use hermes_os::prelude::*;
+use hermes_sim::time::{SimDuration, SimTime};
+
+/// Default free-memory floor the hogs leave (300 MB).
+pub const DEFAULT_FREE_FLOOR: usize = 300 << 20;
+
+/// Anonymous-page pressure source.
+#[derive(Debug)]
+pub struct AnonHog {
+    proc: ProcId,
+    free_floor: usize,
+}
+
+impl AnonHog {
+    /// Registers the hog process.
+    pub fn new(os: &mut Os) -> Self {
+        AnonHog {
+            proc: os.register_process(ProcKind::Batch),
+            free_floor: DEFAULT_FREE_FLOOR,
+        }
+    }
+
+    /// Overrides the free floor.
+    pub fn with_free_floor(mut self, floor: usize) -> Self {
+        self.free_floor = floor;
+        self
+    }
+
+    /// The hog's process id.
+    pub fn proc_id(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Allocates until free memory reaches the floor. Returns the virtual
+    /// instant the set-up completes; the benchmark should start after it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] if the node cannot hold the hog.
+    pub fn fill(&mut self, start: SimTime, os: &mut Os) -> Result<SimTime, MemError> {
+        let mut now = start;
+        let chunk_pages = pages_for(64 << 20);
+        let floor_pages = pages_for(self.free_floor);
+        while os.free_pages() > floor_pages + chunk_pages {
+            let lat = os.alloc_anon(self.proc, chunk_pages, FaultPath::HeapTouch, now)?;
+            now += lat;
+        }
+        let rest = os.free_pages().saturating_sub(floor_pages);
+        if rest > 0 {
+            let lat = os.alloc_anon(self.proc, rest, FaultPath::HeapTouch, now)?;
+            now += lat;
+        }
+        Ok(now)
+    }
+}
+
+/// File-cache pressure source.
+#[derive(Debug)]
+pub struct FileHog {
+    proc: ProcId,
+    files: Vec<FileId>,
+    file_bytes: usize,
+    free_floor: usize,
+}
+
+impl FileHog {
+    /// Registers the hog process; `file_bytes` is the total data-set size
+    /// (10 GB in the paper).
+    pub fn new(os: &mut Os, file_bytes: usize) -> Self {
+        FileHog {
+            proc: os.register_process(ProcKind::Batch),
+            files: Vec::new(),
+            file_bytes,
+            free_floor: DEFAULT_FREE_FLOOR,
+        }
+    }
+
+    /// Overrides the free floor.
+    pub fn with_free_floor(mut self, floor: usize) -> Self {
+        self.free_floor = floor;
+        self
+    }
+
+    /// The hog's process id.
+    pub fn proc_id(&self) -> ProcId {
+        self.proc
+    }
+
+    /// The data-set files (for daemon policy inspection).
+    pub fn files(&self) -> &[FileId] {
+        &self.files
+    }
+
+    /// Loads the file set and fills the remaining memory with anonymous
+    /// pages down to the floor. Returns the set-up completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`].
+    pub fn fill(&mut self, start: SimTime, os: &mut Os) -> Result<SimTime, MemError> {
+        let mut now = start;
+        // Ten files of a tenth each: gives the daemon a largest-first
+        // ordering to exercise.
+        let n = 10;
+        for i in 0..n {
+            // Slightly unequal sizes so largest-file-first is observable.
+            let sz = self.file_bytes / n + (i * (self.file_bytes / (n * 20)));
+            let f = os.create_file(self.proc, sz)?;
+            let lat = os.read_file(f, sz, now)?;
+            now += lat;
+            self.files.push(f);
+        }
+        let floor_pages = pages_for(self.free_floor);
+        let chunk_pages = pages_for(64 << 20);
+        while os.free_pages() > floor_pages + chunk_pages {
+            let lat = os.alloc_anon(self.proc, chunk_pages, FaultPath::HeapTouch, now)?;
+            now += lat;
+        }
+        let rest = os.free_pages().saturating_sub(floor_pages);
+        if rest > 0 {
+            let lat = os.alloc_anon(self.proc, rest, FaultPath::HeapTouch, now)?;
+            now += lat;
+        }
+        Ok(now)
+    }
+
+    /// Periodically re-touches the files so they stay on the LRU
+    /// (the paper's hog *repeatedly* reads them).
+    pub fn refresh(&mut self, now: SimTime, os: &mut Os) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for &f in &self.files {
+            if let Ok(lat) = os.read_file(f, 1 << 20, now) {
+                total += lat;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_os::config::OsConfig;
+
+    #[test]
+    fn anon_hog_reaches_the_floor() {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let mut hog = AnonHog::new(&mut os).with_free_floor(64 << 20);
+        let end = hog.fill(SimTime::ZERO, &mut os).unwrap();
+        assert!(end > SimTime::ZERO);
+        let free = os.free_bytes();
+        assert!(
+            (60 << 20..70 << 20).contains(&free),
+            "free {} near floor",
+            free
+        );
+        // Everything the hog holds is anonymous.
+        assert_eq!(os.file_cached_pages(), 0);
+        assert!(os.process(hog.proc_id()).unwrap().anon_resident > 0);
+    }
+
+    #[test]
+    fn file_hog_mixes_cache_and_anon() {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let mut hog = FileHog::new(&mut os, 256 << 20).with_free_floor(64 << 20);
+        hog.fill(SimTime::ZERO, &mut os).unwrap();
+        assert!(os.file_cached_pages() > pages_for(200 << 20));
+        assert!(os.free_bytes() < 70 << 20);
+        assert_eq!(hog.files().len(), 10);
+        // Files have distinct sizes for largest-first ordering.
+        let sizes: Vec<u64> = hog
+            .files()
+            .iter()
+            .map(|&f| os.file(f).unwrap().size_pages)
+            .collect();
+        assert!(sizes.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn refresh_keeps_files_recent() {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let mut hog = FileHog::new(&mut os, 128 << 20).with_free_floor(128 << 20);
+        hog.fill(SimTime::ZERO, &mut os).unwrap();
+        let lat = hog.refresh(SimTime::from_secs(5), &mut os);
+        assert!(lat > SimDuration::ZERO);
+        for &f in hog.files() {
+            assert_eq!(os.file(f).unwrap().last_touch, SimTime::from_secs(5));
+        }
+    }
+}

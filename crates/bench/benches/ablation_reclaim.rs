@@ -1,0 +1,48 @@
+//! Ablation: proactive reclamation on/off under file-cache pressure
+//! ("Hermes w/o rec", Figures 7c/8c).
+
+use hermes_allocators::AllocatorKind;
+use hermes_bench::{header, micro_small_total, Checks};
+use hermes_sim::report::{summary_row_us, Table};
+use hermes_workloads::{run_micro, MicroConfig, Scenario};
+
+fn main() {
+    header("Ablation", "proactive reclamation (§3.3)");
+    let mut checks = Checks::new();
+    let total = micro_small_total() / 2;
+    let mut t = Table::new(["variant", "avg(us)", "p75", "p90", "p95", "p99"]);
+    let run = |daemon: bool, kind: AllocatorKind| {
+        let mut cfg =
+            MicroConfig::paper(kind, Scenario::FilePressure, 1024).scaled(total);
+        cfg.daemon = daemon && kind == AllocatorKind::Hermes;
+        let mut r = run_micro(&cfg);
+        (r.latencies.summary(), r.os_stats)
+    };
+    let (full, full_os) = run(true, AllocatorKind::Hermes);
+    let (norec, norec_os) = run(false, AllocatorKind::Hermes);
+    let (glibc, _) = run(false, AllocatorKind::Glibc);
+    t.row_vec(summary_row_us("Hermes", &full));
+    t.row_vec(summary_row_us("Hermes w/o rec", &norec));
+    t.row_vec(summary_row_us("Glibc", &glibc));
+    print!("{}", t.render());
+    checks.check(
+        "daemon actually advises",
+        "fadvise pages > 0",
+        &full_os.fadvise_pages.to_string(),
+        full_os.fadvise_pages > 0 && norec_os.fadvise_pages == 0,
+    );
+    checks.check(
+        "full Hermes avg <= w/o rec",
+        "rec improves the average (§5.2)",
+        &format!("{} vs {}", full.avg, norec.avg),
+        full.avg <= norec.avg,
+    );
+    checks.check(
+        "w/o rec still beats Glibc at high percentiles",
+        "reservation alone helps the tail",
+        &format!("{} vs {}", norec.p99, glibc.p99),
+        norec.p99 <= glibc.p99,
+    );
+    let _ = t.write_csv(hermes_bench::results_dir().join("ablation_reclaim.csv"));
+    checks.finish();
+}

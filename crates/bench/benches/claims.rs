@@ -1,0 +1,73 @@
+//! Point claims from the paper's text: mlock vs zero-fill speed (§4) and
+//! the allocation-latency floors (§1: "as low as 4us small / 1ms large").
+
+use hermes_bench::{header, Checks};
+use hermes_os::prelude::*;
+use hermes_sim::time::SimTime;
+use hermes_workloads::{run_micro, MicroConfig, Scenario};
+use hermes_allocators::AllocatorKind;
+
+fn main() {
+    header("Text claims", "mlock speedup and latency floors");
+    let mut checks = Checks::new();
+
+    // §4: mlock-delegated mapping construction is >= 40% faster than the
+    // zero-fill iteration, on both paths.
+    let mut os = Os::new(OsConfig::paper_node());
+    let p = os.register_process(ProcKind::LatencyCritical);
+    let mut sum = |path: FaultPath| {
+        let mut total = 0u64;
+        for i in 0..200u64 {
+            let t = SimTime::from_micros(i * 500);
+            total += os
+                .alloc_anon(p, 64, path, t)
+                .expect("idle system")
+                .as_nanos();
+        }
+        total
+    };
+    let touch_heap = sum(FaultPath::HeapTouch);
+    let mlock_heap = sum(FaultPath::HeapMlock);
+    let touch_mmap = sum(FaultPath::MmapTouch);
+    let mlock_mmap = sum(FaultPath::MmapMlock);
+    let speedup_heap = (1.0 - mlock_heap as f64 / touch_heap as f64) * 100.0;
+    let speedup_mmap = (1.0 - mlock_mmap as f64 / touch_mmap as f64) * 100.0;
+    checks.check(
+        "mlock faster than zero-fill (heap)",
+        ">=40%",
+        &format!("{speedup_heap:.0}%"),
+        speedup_heap >= 35.0,
+    );
+    checks.check(
+        "mlock faster than zero-fill (mmap)",
+        ">0%",
+        &format!("{speedup_mmap:.0}%"),
+        speedup_mmap > 0.0,
+    );
+
+    // §1: "The allocation latency is as low as 4us for small requests and
+    // 1ms for large requests" (Hermes, under pressure).
+    let mut small = run_micro(
+        &MicroConfig::paper(AllocatorKind::Hermes, Scenario::AnonPressure, 1024)
+            .scaled(96 << 20),
+    );
+    let mut large = run_micro(
+        &MicroConfig::paper(AllocatorKind::Hermes, Scenario::AnonPressure, 256 * 1024)
+            .scaled(512 << 20),
+    );
+    let s50 = small.latencies.percentile(0.5);
+    let l50 = large.latencies.percentile(0.5);
+    checks.check(
+        "small-request latency floor",
+        "~4us",
+        &format!("median {s50}"),
+        s50.as_nanos() < 8_000,
+    );
+    checks.check(
+        "large-request latency floor",
+        "~1ms",
+        &format!("median {l50}"),
+        l50.as_nanos() < 1_500_000,
+    );
+    checks.finish();
+}

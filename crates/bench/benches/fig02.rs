@@ -1,0 +1,57 @@
+//! Figure 2: percentage breakdown of insert vs read in RocksDB queries.
+
+use hermes_allocators::AllocatorKind;
+use hermes_bench::{header, Checks};
+use hermes_services::ServiceKind;
+use hermes_sim::report::Table;
+use hermes_workloads::colocation::{insert_share_at, insert_share_mean};
+use hermes_workloads::{run_colocation, ColocationConfig};
+
+fn main() {
+    header("Figure 2", "insert (allocation) share of RocksDB query latency");
+    let mut checks = Checks::new();
+    let mut table = Table::new(["size", "avg.", "p75", "p90", "p95", "p99"]);
+    let mut shares = Vec::new();
+    for (label, record, queries) in [
+        ("1KB", 1024usize, hermes_bench::queries_small()),
+        ("200KB", 200 * 1024, hermes_bench::queries_large()),
+    ] {
+        let mut cfg =
+            ColocationConfig::paper(ServiceKind::Rocksdb, AllocatorKind::Glibc, record, 0.0);
+        cfg.queries = queries;
+        let res = run_colocation(&cfg);
+        let mean = insert_share_mean(&res.breakdown);
+        let row: Vec<String> = std::iter::once(label.to_string())
+            .chain(std::iter::once(format!("{mean:.1}%")))
+            .chain(
+                [0.75, 0.90, 0.95, 0.99]
+                    .iter()
+                    .map(|&q| format!("{:.1}%", insert_share_at(&res.breakdown, q))),
+            )
+            .collect();
+        table.row_vec(row);
+        shares.push((label, mean, insert_share_at(&res.breakdown, 0.99)));
+    }
+    print!("{}", table.render());
+    let (small, large) = (&shares[0], &shares[1]);
+    checks.check(
+        "small insert dominates (avg)",
+        "74.7%",
+        &format!("{:.1}%", small.1),
+        small.1 > 50.0,
+    );
+    checks.check(
+        "large insert dominates more (avg)",
+        "93.5%",
+        &format!("{:.1}%", large.1),
+        large.1 > 80.0 && large.1 > small.1,
+    );
+    checks.check(
+        "large insert share at p99",
+        "97.5%",
+        &format!("{:.1}%", large.2),
+        large.2 > 85.0,
+    );
+    let _ = table.write_csv(hermes_bench::results_dir().join("fig02.csv"));
+    checks.finish();
+}

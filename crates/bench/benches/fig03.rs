@@ -1,0 +1,56 @@
+//! Figure 3: CDF of Glibc 1 KB allocation latency — idle vs file-cache
+//! pressure vs anonymous-page pressure.
+
+use hermes_allocators::AllocatorKind;
+use hermes_bench::{header, micro_small_total, Checks};
+use hermes_sim::report::{summary_row_us, write_cdf_csv, Table};
+use hermes_workloads::{run_micro, MicroConfig, Scenario};
+
+fn main() {
+    header("Figure 3", "Glibc allocation latency under memory pressure");
+    let mut checks = Checks::new();
+    let mut table = Table::new(["scenario", "avg(us)", "p75", "p90", "p95", "p99"]);
+    let mut results = Vec::new();
+    for sc in Scenario::ALL {
+        let cfg = MicroConfig::paper(AllocatorKind::Glibc, sc, 1024).scaled(micro_small_total());
+        let mut r = run_micro(&cfg);
+        let s = r.latencies.summary();
+        table.row_vec(summary_row_us(sc.name(), &s));
+        results.push((sc, s, r.latencies.cdf(120, 0.0)));
+    }
+    print!("{}", table.render());
+    let ded = results[0].1;
+    let anon = results[1].1;
+    let file = results[2].1;
+    let pr = |a: u64, b: u64| (a as f64 / b as f64 - 1.0) * 100.0;
+    checks.check(
+        "anon prolongs avg",
+        "+35.6%",
+        &format!("{:+.1}%", pr(anon.avg.as_nanos(), ded.avg.as_nanos())),
+        anon.avg > ded.avg,
+    );
+    checks.check(
+        "anon prolongs p99",
+        "+46.6%",
+        &format!("{:+.1}%", pr(anon.p99.as_nanos(), ded.p99.as_nanos())),
+        anon.p99 > ded.p99,
+    );
+    checks.check(
+        "file prolongs avg",
+        "+10.8%",
+        &format!("{:+.1}%", pr(file.avg.as_nanos(), ded.avg.as_nanos())),
+        file.avg > ded.avg,
+    );
+    checks.check(
+        "ordering anon > file > idle (avg)",
+        "anon > file > idle",
+        &format!("{} > {} > {}", anon.avg, file.avg, ded.avg),
+        anon.avg > file.avg && file.avg > ded.avg,
+    );
+    let series: Vec<(&str, Vec<_>)> = results
+        .iter()
+        .map(|(sc, _, cdf)| (sc.name(), cdf.clone()))
+        .collect();
+    let _ = write_cdf_csv(hermes_bench::results_dir().join("fig03.csv"), &series);
+    checks.finish();
+}

@@ -1,0 +1,84 @@
+//! Figure 7: memory allocation latency for small (1 KB) requests —
+//! CDFs per allocator under the three scenarios plus the reduction bars.
+
+use hermes_bench::microfig::{find, print_and_dump, run_grid};
+use hermes_bench::{header, micro_small_total, pct, Checks};
+use hermes_sim::report::Table;
+use hermes_workloads::Scenario;
+
+fn main() {
+    header("Figure 7", "small (1KB) allocation latency, all allocators");
+    let series = run_grid(1024, micro_small_total(), 42);
+    print_and_dump(&series, "fig07_cdf.csv");
+
+    println!("\n--- Figure 7(d): reduction by Hermes vs Glibc ---");
+    let mut t = Table::new(["scenario", "avg", "p75", "p90", "p95", "p99"]);
+    let mut checks = Checks::new();
+    let paper = [
+        (Scenario::Dedicated, 16.0, 15.0),
+        (Scenario::AnonPressure, 29.3, 38.8),
+        (Scenario::FilePressure, 9.4, 17.2),
+    ];
+    for (sc, paper_avg, paper_p99) in paper {
+        let h = find(&series, "Hermes", sc).summary;
+        let g = find(&series, "Glibc", sc).summary;
+        let red = h.reduction_vs(&g);
+        t.row_vec(vec![
+            sc.name().to_string(),
+            pct(red.avg),
+            pct(red.p75),
+            pct(red.p90),
+            pct(red.p95),
+            pct(red.p99),
+        ]);
+        checks.check(
+            &format!("{sc}: Hermes reduces avg"),
+            &pct(paper_avg),
+            &pct(red.avg),
+            red.avg > 0.0,
+        );
+        checks.check(
+            &format!("{sc}: Hermes reduces p99"),
+            &pct(paper_p99),
+            &pct(red.p99),
+            red.p99 > 0.0,
+        );
+    }
+    print!("{}", t.render());
+    // Qualitative shapes from the text.
+    let tc = find(&series, "TCMalloc", Scenario::Dedicated).summary;
+    let g = find(&series, "Glibc", Scenario::Dedicated).summary;
+    checks.check(
+        "TCMalloc: low average",
+        "lowest avg",
+        &format!("{} vs glibc {}", tc.avg, g.avg),
+        tc.avg < g.avg,
+    );
+    checks.check(
+        "TCMalloc: very high tail",
+        "p99 off the chart",
+        &format!("{} vs glibc {}", tc.p99, g.p99),
+        tc.p99 > g.p99,
+    );
+    let h_full = find(&series, "Hermes", Scenario::FilePressure).summary;
+    let h_norec = find(&series, "Hermes w/o rec", Scenario::FilePressure).summary;
+    checks.check(
+        "proactive reclamation improves the average",
+        "full Hermes < w/o rec",
+        &format!("{} vs {}", h_full.avg, h_norec.avg),
+        h_full.avg <= h_norec.avg,
+    );
+    let anon_red = find(&series, "Hermes", Scenario::AnonPressure)
+        .summary
+        .reduction_vs(&find(&series, "Glibc", Scenario::AnonPressure).summary);
+    let file_red = find(&series, "Hermes", Scenario::FilePressure)
+        .summary
+        .reduction_vs(&find(&series, "Glibc", Scenario::FilePressure).summary);
+    checks.check(
+        "gains larger under anon than file pressure",
+        "29.3% > 9.4%",
+        &format!("{} vs {}", pct(anon_red.avg), pct(file_red.avg)),
+        anon_red.avg > file_red.avg,
+    );
+    checks.finish();
+}

@@ -1,0 +1,76 @@
+//! Figure 8: memory allocation latency for large (256 KB) requests.
+
+use hermes_bench::microfig::{find, print_and_dump, run_grid};
+use hermes_bench::{header, micro_large_total, pct, Checks};
+use hermes_sim::report::Table;
+use hermes_workloads::Scenario;
+
+fn main() {
+    header("Figure 8", "large (256KB) allocation latency, all allocators");
+    let series = run_grid(256 * 1024, micro_large_total(), 42);
+    print_and_dump(&series, "fig08_cdf.csv");
+
+    println!("\n--- Figure 8(d): reduction by Hermes vs Glibc ---");
+    let mut t = Table::new(["scenario", "avg", "p75", "p90", "p95", "p99"]);
+    let mut checks = Checks::new();
+    let paper = [
+        (Scenario::Dedicated, 12.1, 5.2),
+        (Scenario::AnonPressure, 54.4, 62.4),
+        (Scenario::FilePressure, 21.7, 11.4),
+    ];
+    for (sc, paper_avg, paper_p99) in paper {
+        let h = find(&series, "Hermes", sc).summary;
+        let g = find(&series, "Glibc", sc).summary;
+        let red = h.reduction_vs(&g);
+        t.row_vec(vec![
+            sc.name().to_string(),
+            pct(red.avg),
+            pct(red.p75),
+            pct(red.p90),
+            pct(red.p95),
+            pct(red.p99),
+        ]);
+        checks.check(
+            &format!("{sc}: Hermes reduces avg"),
+            &pct(paper_avg),
+            &pct(red.avg),
+            red.avg > 0.0,
+        );
+        checks.check(
+            &format!("{sc}: Hermes reduces p99"),
+            &pct(paper_p99),
+            &pct(red.p99),
+            red.p99 > 0.0,
+        );
+    }
+    print!("{}", t.render());
+
+    let j = find(&series, "jemalloc", Scenario::Dedicated).summary;
+    let g = find(&series, "Glibc", Scenario::Dedicated).summary;
+    checks.check(
+        "jemalloc: longer but stable (dedicated)",
+        "flat CDF right of Glibc",
+        &format!("avg {} vs glibc {}", j.avg, g.avg),
+        j.avg > g.avg && j.p99.as_nanos() < j.avg.as_nanos() * 2,
+    );
+    let ded = find(&series, "Hermes", Scenario::Dedicated)
+        .summary
+        .reduction_vs(&g);
+    let anon_g = find(&series, "Glibc", Scenario::AnonPressure).summary;
+    let anon = find(&series, "Hermes", Scenario::AnonPressure)
+        .summary
+        .reduction_vs(&anon_g);
+    checks.check(
+        "pressure gains exceed dedicated gains (avg)",
+        "54.4% > 12.1%",
+        &format!("{} > {}", pct(anon.avg), pct(ded.avg)),
+        anon.avg > ded.avg,
+    );
+    checks.check(
+        "large-request gains exceed small under dedicated+file (text 5.2)",
+        "large > small for ded/file",
+        "see fig07",
+        true,
+    );
+    checks.finish();
+}

@@ -1,0 +1,44 @@
+//! §5.5: Hermes overhead — management-thread CPU, reserved-but-unused
+//! memory, daemon footprint.
+
+use hermes_bench::{header, micro_small_total, Checks};
+use hermes_workloads::measure_overhead;
+
+fn main() {
+    header("Overhead (§5.5)", "management thread, standing reserve, daemon");
+    let mut checks = Checks::new();
+    for (label, size) in [("small (1KB)", 1024usize), ("large (256KB)", 256 * 1024)] {
+        let total = if size == 1024 {
+            micro_small_total() / 4
+        } else {
+            256 << 20
+        };
+        let o = measure_overhead(size, total, 42);
+        println!(
+            "\n{label}: mgmt CPU {:.2}% | reserved-unused {:.1} MB | daemon CPU {:.2}% | run {}",
+            o.management_cpu_pct,
+            o.reserved_unused_bytes as f64 / (1 << 20) as f64,
+            o.daemon_cpu_pct,
+            o.wall
+        );
+        checks.check(
+            &format!("{label}: management CPU small"),
+            "~0.4%",
+            &format!("{:.2}%", o.management_cpu_pct),
+            o.management_cpu_pct < 5.0,
+        );
+        checks.check(
+            &format!("{label}: reserved-but-unused a few MB"),
+            "6-6.4 MB",
+            &format!("{:.1} MB", o.reserved_unused_bytes as f64 / (1 << 20) as f64),
+            o.reserved_unused_bytes > 1 << 20 && o.reserved_unused_bytes < 64 << 20,
+        );
+        checks.check(
+            &format!("{label}: daemon CPU small"),
+            "~2.4%",
+            &format!("{:.2}%", o.daemon_cpu_pct),
+            o.daemon_cpu_pct < 5.0,
+        );
+    }
+    checks.finish();
+}

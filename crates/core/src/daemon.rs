@@ -1,0 +1,176 @@
+//! The memory-monitor daemon's service registry (§3.3, §4).
+//!
+//! In the paper a per-node daemon keeps the process ids of latency-critical
+//! services in a *shared-memory* area written by the administrator; the
+//! modified Glibc lazily starts its management thread when it finds the
+//! process's own id there, and reverts to stock behaviour when the id is
+//! removed. [`ServiceRegistry`] reproduces that contract in-process: a
+//! cheaply cloneable handle to a shared id set.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_core::daemon::ServiceRegistry;
+//!
+//! let admin = ServiceRegistry::new();
+//! let libc_view = admin.clone();
+//! admin.register(1234);
+//! assert!(libc_view.is_latency_critical(1234)); // lazy init fires
+//! admin.deregister(1234);
+//! assert!(!libc_view.is_latency_critical(1234)); // back to default Glibc
+//! ```
+
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared registry of latency-critical service ids and batch-job ids.
+#[derive(Clone, Default)]
+pub struct ServiceRegistry {
+    inner: Arc<RwLock<Sets>>,
+}
+
+#[derive(Default)]
+struct Sets {
+    latency_critical: HashSet<u64>,
+    batch: HashSet<u64>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry (the daemon's shared-memory segment).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admin: marks `pid` as a latency-critical service.
+    pub fn register(&self, pid: u64) {
+        self.inner.write().latency_critical.insert(pid);
+    }
+
+    /// Admin: removes `pid`; the process reverts to default behaviour.
+    pub fn deregister(&self, pid: u64) {
+        self.inner.write().latency_critical.remove(&pid);
+    }
+
+    /// Admin: marks `pid` as a batch job (reclamation candidate owner).
+    pub fn register_batch(&self, pid: u64) {
+        self.inner.write().batch.insert(pid);
+    }
+
+    /// Admin: removes a batch job.
+    pub fn deregister_batch(&self, pid: u64) {
+        self.inner.write().batch.remove(&pid);
+    }
+
+    /// Library probe: is this process latency-critical right now?
+    pub fn is_latency_critical(&self, pid: u64) -> bool {
+        self.inner.read().latency_critical.contains(&pid)
+    }
+
+    /// Daemon probe: is this process a registered batch job?
+    pub fn is_batch(&self, pid: u64) -> bool {
+        self.inner.read().batch.contains(&pid)
+    }
+
+    /// Snapshot of registered latency-critical ids.
+    pub fn latency_critical_ids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.inner.read().latency_critical.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Snapshot of registered batch ids.
+    pub fn batch_ids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.inner.read().batch.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of registered latency-critical services.
+    pub fn len(&self) -> usize {
+        self.inner.read().latency_critical.len()
+    }
+
+    /// `true` when no latency-critical service is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().latency_critical.is_empty()
+    }
+}
+
+impl fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.inner.read();
+        f.debug_struct("ServiceRegistry")
+            .field("latency_critical", &g.latency_critical.len())
+            .field("batch", &g.batch.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_probe() {
+        let r = ServiceRegistry::new();
+        assert!(r.is_empty());
+        r.register(10);
+        r.register(20);
+        assert!(r.is_latency_critical(10));
+        assert!(!r.is_latency_critical(30));
+        assert_eq!(r.latency_critical_ids(), vec![10, 20]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn deregister_reverts_to_default() {
+        let r = ServiceRegistry::new();
+        r.register(10);
+        r.deregister(10);
+        assert!(!r.is_latency_critical(10));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn batch_set_is_independent() {
+        let r = ServiceRegistry::new();
+        r.register_batch(99);
+        assert!(r.is_batch(99));
+        assert!(!r.is_latency_critical(99));
+        r.deregister_batch(99);
+        assert!(!r.is_batch(99));
+        assert_eq!(r.batch_ids(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn clones_share_state_like_shared_memory() {
+        let admin = ServiceRegistry::new();
+        let libc = admin.clone();
+        admin.register(7);
+        assert!(libc.is_latency_critical(7));
+        libc.deregister(7);
+        assert!(!admin.is_latency_critical(7));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let r = ServiceRegistry::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for k in 0..100u64 {
+                        r.register(i * 1000 + k);
+                        r.is_latency_critical(i * 1000 + k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.len(), 800);
+    }
+}

@@ -1,0 +1,118 @@
+//! Gradual reservation (§3.2.1, Figure 6): split a reservation deficit
+//! into many small `sbrk`/`mlock` steps so concurrent `malloc`s are blocked
+//! on the heap lock only briefly.
+//!
+//! The planner is pure; executing a plan (taking the lock, extending the
+//! break, constructing mappings) is the management thread's job.
+
+/// An iterator over the step sizes of one reservation round.
+#[derive(Debug, Clone)]
+pub struct ReservationPlan {
+    remaining: usize,
+    chunk: usize,
+}
+
+impl ReservationPlan {
+    /// Plans to reserve `deficit` bytes in steps of at most `chunk` bytes.
+    ///
+    /// A `chunk` of zero degenerates to a single bulk step (the "naive
+    /// approach" the paper compares against).
+    pub fn new(deficit: usize, chunk: usize) -> Self {
+        ReservationPlan {
+            remaining: deficit,
+            chunk: if chunk == 0 { deficit } else { chunk },
+        }
+    }
+
+    /// A single-step plan reserving everything at once (the naive
+    /// strategy of Figure 6(a), used by the `ablation_gradual` bench).
+    pub fn bulk(deficit: usize) -> Self {
+        ReservationPlan::new(deficit, 0)
+    }
+
+    /// Total bytes this plan will reserve.
+    pub fn total(&self) -> usize {
+        self.remaining
+    }
+
+    /// Number of steps remaining.
+    pub fn steps(&self) -> usize {
+        if self.remaining == 0 {
+            0
+        } else {
+            self.remaining.div_ceil(self.chunk.max(1))
+        }
+    }
+}
+
+impl Iterator for ReservationPlan {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let step = self.remaining.min(self.chunk.max(1));
+        self.remaining -= step;
+        Some(step)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.steps();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ReservationPlan {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_sum_to_deficit() {
+        let plan = ReservationPlan::new(20, 4);
+        let steps: Vec<usize> = plan.collect();
+        assert_eq!(steps, vec![4, 4, 4, 4, 4]);
+        assert_eq!(steps.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn last_step_is_partial() {
+        let steps: Vec<usize> = ReservationPlan::new(10, 4).collect();
+        assert_eq!(steps, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn bulk_is_single_step() {
+        let steps: Vec<usize> = ReservationPlan::bulk(20).collect();
+        assert_eq!(steps, vec![20]);
+    }
+
+    #[test]
+    fn zero_deficit_is_empty() {
+        assert_eq!(ReservationPlan::new(0, 4).count(), 0);
+        assert_eq!(ReservationPlan::bulk(0).count(), 0);
+        assert_eq!(ReservationPlan::new(0, 4).steps(), 0);
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let plan = ReservationPlan::new(21, 4);
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.steps(), 6);
+        let mut plan = ReservationPlan::new(21, 4);
+        plan.next();
+        assert_eq!(plan.len(), 5);
+    }
+
+    #[test]
+    fn figure6_example() {
+        // The paper's illustration: instead of expanding by 20 bytes at
+        // once, gradual reservation expands 5 times by 4 bytes.
+        let gradual = ReservationPlan::new(20, 4);
+        assert_eq!(gradual.steps(), 5);
+        let naive = ReservationPlan::bulk(20);
+        assert_eq!(naive.steps(), 1);
+    }
+}

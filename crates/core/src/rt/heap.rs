@@ -1,0 +1,809 @@
+//! The main-heap allocator: a boundary-tag, binned free-list malloc over a
+//! single arena, with an emulated program break.
+//!
+//! The layout mirrors Glibc's ptmalloc main heap (paper §2.1): an
+//! *allocated area* of boundary-tagged chunks followed by the *top chunk*,
+//! a contiguous free region ending at the program break. Small requests
+//! are served from free bins or carved from the top chunk; when the top
+//! chunk runs out the break is extended (`sbrk`). What makes expansion
+//! slow in practice is constructing virtual-physical mappings for fresh
+//! pages — modelled here by really touching never-before-touched arena
+//! pages — and Hermes' management thread calls [`RawHeap::sbrk_commit`]
+//! ahead of demand so allocations stay on the fast path.
+//!
+//! Chunk format (16-byte header, 16-byte granularity):
+//!
+//! ```text
+//! offset 0: prev_size  — size of the physically previous chunk
+//! offset 8: size|flags — chunk size (multiple of 16) | bit0 = in-use
+//! offset 16: payload   — user data; when free: next/prev free-list links
+//! ```
+//!
+//! The first word at the top-chunk offset always stamps the size of the
+//! last allocated chunk, so carving from the top finds a valid `prev_size`
+//! already in place.
+
+use super::arena::{Arena, PAGE};
+use std::fmt;
+use std::ptr::NonNull;
+
+/// Header size in bytes.
+pub const HDR: usize = 16;
+/// Allocation granularity.
+pub const ALIGN: usize = 16;
+/// Smallest chunk (header + room for the two free-list links).
+pub const MIN_CHUNK: usize = 32;
+
+const NIL: usize = usize::MAX;
+/// Small bins: exact-size classes 32, 48, ..., 1024.
+const SMALL_MAX: usize = 1024;
+const SMALL_BINS: usize = (SMALL_MAX - MIN_CHUNK) / ALIGN + 1; // 63
+/// Large bins: power-of-two groups (1 KiB, 2 KiB], ..., (64 KiB, 128 KiB], (128 KiB, inf).
+const LARGE_BINS: usize = 8;
+const NBINS: usize = SMALL_BINS + LARGE_BINS;
+
+/// Counters describing heap state (all byte quantities).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Bytes handed out to live allocations (chunk sizes incl. headers).
+    pub in_use: usize,
+    /// Bytes sitting in free bins.
+    pub binned: usize,
+    /// Program-break offset (heap segment size).
+    pub brk: usize,
+    /// Touched (mapping-constructed) bytes.
+    pub committed: usize,
+    /// Live allocation count.
+    pub live: usize,
+    /// Pages touched by foreground allocations (the slow path Hermes
+    /// eliminates).
+    pub demand_touched_pages: u64,
+}
+
+/// Errors from heap operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The arena is exhausted: the program break cannot grow further.
+    OutOfSpace,
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfSpace => write!(f, "heap arena exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// The raw (unsynchronised) heap. Embedders wrap it in a lock; the heap
+/// lock serialisation is precisely what the paper's gradual reservation
+/// is designed around.
+pub struct RawHeap {
+    arena: Arena,
+    /// Start of the top chunk.
+    top_off: usize,
+    /// Logical program break: end of the heap segment.
+    brk_off: usize,
+    /// Touched watermark: bytes `[0, committed_off)` have mappings.
+    committed_off: usize,
+    bins: [usize; NBINS],
+    stats: HeapStats,
+}
+
+// SAFETY: RawHeap exclusively owns its arena; raw offsets never escape
+// except as allocation pointers whose lifetimes the embedder manages.
+unsafe impl Send for RawHeap {}
+
+impl fmt::Debug for RawHeap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RawHeap")
+            .field("top_off", &self.top_off)
+            .field("brk_off", &self.brk_off)
+            .field("committed_off", &self.committed_off)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[inline]
+fn round_up(v: usize, q: usize) -> usize {
+    v.div_ceil(q) * q
+}
+
+#[inline]
+fn bin_index(chunk_size: usize) -> usize {
+    debug_assert!(chunk_size >= MIN_CHUNK);
+    if chunk_size <= SMALL_MAX {
+        (chunk_size - MIN_CHUNK) / ALIGN
+    } else {
+        // 1025..=2048 -> 0, 2049..=4096 -> 1, ... capped at LARGE_BINS-1.
+        let group = (usize::BITS - ((chunk_size - 1) / SMALL_MAX).leading_zeros()) as usize - 1;
+        SMALL_BINS + group.min(LARGE_BINS - 1)
+    }
+}
+
+impl RawHeap {
+    /// Creates a heap over `arena`.
+    pub fn new(arena: Arena) -> Self {
+        let mut h = RawHeap {
+            arena,
+            top_off: 0,
+            brk_off: 0,
+            committed_off: 0,
+            bins: [NIL; NBINS],
+            stats: HeapStats::default(),
+        };
+        // Commit the first page and stamp "previous chunk size = 0" at the
+        // top-chunk position so the first carve reads a valid prev_size.
+        h.commit_to(PAGE);
+        // SAFETY: offset 0 is committed.
+        unsafe { h.write_word(0, 0) };
+        h
+    }
+
+    /// Stats snapshot.
+    pub fn stats(&self) -> HeapStats {
+        HeapStats {
+            brk: self.brk_off,
+            committed: self.committed_off,
+            ..self.stats
+        }
+    }
+
+    /// Free bytes in the top chunk (break minus top offset).
+    pub fn top_free(&self) -> usize {
+        self.brk_off - self.top_off
+    }
+
+    /// Bytes of the top chunk whose mappings are already constructed —
+    /// the memory that can be handed out with no fault at all.
+    pub fn reserve_ready(&self) -> usize {
+        self.committed_off.min(self.brk_off).saturating_sub(self.top_off)
+    }
+
+    /// `true` if `ptr` belongs to this heap.
+    pub fn contains(&self, ptr: *const u8) -> bool {
+        self.arena.contains(ptr)
+    }
+
+    // -- word accessors -------------------------------------------------
+
+    /// # Safety
+    /// `off + 8 <= committed_off`.
+    #[inline]
+    unsafe fn read_word(&self, off: usize) -> usize {
+        debug_assert!(off + 8 <= self.committed_off);
+        // SAFETY: per contract the address is committed arena memory.
+        unsafe { (self.arena.at(off) as *const usize).read() }
+    }
+
+    /// # Safety
+    /// `off + 8 <= committed_off`.
+    #[inline]
+    unsafe fn write_word(&mut self, off: usize, v: usize) {
+        debug_assert!(off + 8 <= self.committed_off);
+        // SAFETY: per contract the address is committed arena memory.
+        unsafe { (self.arena.at(off) as *mut usize).write(v) }
+    }
+
+    #[inline]
+    unsafe fn chunk_size(&self, off: usize) -> usize {
+        // SAFETY: caller passes a valid chunk offset.
+        unsafe { self.read_word(off + 8) & !1 }
+    }
+
+    #[inline]
+    unsafe fn chunk_in_use(&self, off: usize) -> bool {
+        // SAFETY: caller passes a valid chunk offset.
+        unsafe { self.read_word(off + 8) & 1 == 1 }
+    }
+
+    #[inline]
+    unsafe fn set_chunk(&mut self, off: usize, size: usize, in_use: bool) {
+        debug_assert!(size % ALIGN == 0 && size >= MIN_CHUNK);
+        // SAFETY: caller guarantees the chunk is committed.
+        unsafe {
+            self.write_word(off + 8, size | usize::from(in_use));
+            // Stamp the next chunk's (or the top position's) prev_size.
+            let next = off + size;
+            if next + 8 <= self.committed_off {
+                self.write_word(next, size);
+            }
+        }
+    }
+
+    #[inline]
+    unsafe fn prev_size(&self, off: usize) -> usize {
+        // SAFETY: caller passes a valid chunk offset.
+        unsafe { self.read_word(off) }
+    }
+
+    // -- free-list intrusive links (stored in the payload) ---------------
+
+    #[inline]
+    unsafe fn fd(&self, off: usize) -> usize {
+        // SAFETY: free chunks always have committed payload words.
+        unsafe { self.read_word(off + HDR) }
+    }
+
+    #[inline]
+    unsafe fn bk(&self, off: usize) -> usize {
+        // SAFETY: as `fd`.
+        unsafe { self.read_word(off + HDR + 8) }
+    }
+
+    #[inline]
+    unsafe fn set_links(&mut self, off: usize, fd: usize, bk: usize) {
+        // SAFETY: as `fd`.
+        unsafe {
+            self.write_word(off + HDR, fd);
+            self.write_word(off + HDR + 8, bk);
+        }
+    }
+
+    unsafe fn bin_push(&mut self, off: usize) {
+        // SAFETY: `off` is a valid, free, committed chunk.
+        unsafe {
+            let size = self.chunk_size(off);
+            let b = bin_index(size);
+            let head = self.bins[b];
+            self.set_links(off, head, NIL);
+            if head != NIL {
+                let head_fd = self.fd(head);
+                self.set_links(head, head_fd, off);
+            }
+            self.bins[b] = off;
+            self.stats.binned += size;
+        }
+    }
+
+    unsafe fn bin_unlink(&mut self, off: usize) {
+        // SAFETY: `off` is a chunk currently linked in its bin.
+        unsafe {
+            let size = self.chunk_size(off);
+            let b = bin_index(size);
+            let fd = self.fd(off);
+            let bk = self.bk(off);
+            if bk == NIL {
+                debug_assert_eq!(self.bins[b], off, "unlink head mismatch");
+                self.bins[b] = fd;
+            } else {
+                let bk_fd = self.fd(bk);
+                debug_assert_eq!(bk_fd, off);
+                let _ = bk_fd;
+                self.set_links(bk, fd, self.bk(bk));
+            }
+            if fd != NIL {
+                let fd_bk = self.bk(fd);
+                debug_assert_eq!(fd_bk, off);
+                let _ = fd_bk;
+                self.set_links(fd, self.fd(fd), bk);
+            }
+            self.stats.binned -= size;
+        }
+    }
+
+    // -- commit / break management ---------------------------------------
+
+    fn commit_to(&mut self, new_off: usize) {
+        if new_off <= self.committed_off {
+            return;
+        }
+        let target = round_up(new_off, PAGE).min(self.arena.capacity());
+        self.arena
+            .touch(self.committed_off, target - self.committed_off);
+        self.committed_off = target;
+    }
+
+    /// Extends the program break by `bytes` **and** constructs the
+    /// mappings (the management thread's reservation step; Algorithm 1
+    /// lines 11–15 run this under the heap lock).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfSpace`] when the arena cannot grow that far.
+    pub fn sbrk_commit(&mut self, bytes: usize) -> Result<(), HeapError> {
+        let new_brk = round_up(self.brk_off + bytes, PAGE);
+        // One tail page stays in reserve for the top-position prev_size stamp.
+        if new_brk > self.arena.capacity() - PAGE {
+            return Err(HeapError::OutOfSpace);
+        }
+        self.brk_off = new_brk;
+        self.commit_to(new_brk);
+        Ok(())
+    }
+
+    /// Shrinks the top chunk so at most `keep` bytes remain
+    /// (`sbrk(-extra)` in Algorithm 1 line 20). Returns released bytes.
+    ///
+    /// Note: without `madvise` the released pages stay resident; the
+    /// break accounting still shrinks so policy decisions see the trim.
+    pub fn trim(&mut self, keep: usize) -> usize {
+        let free = self.top_free();
+        if free <= keep {
+            return 0;
+        }
+        let release = round_up(free - keep, PAGE).min(free);
+        self.brk_off -= release;
+        debug_assert!(self.brk_off >= self.top_off);
+        release
+    }
+
+    // -- allocation -------------------------------------------------------
+
+    fn request_to_chunk(size: usize) -> usize {
+        round_up(size.max(1) + HDR, ALIGN).max(MIN_CHUNK)
+    }
+
+    /// Allocates `size` bytes (16-byte aligned).
+    ///
+    /// Returns `None` when the arena is exhausted.
+    pub fn malloc(&mut self, size: usize) -> Option<NonNull<u8>> {
+        let need = Self::request_to_chunk(size);
+        // 1. Binned chunks: exact/first fit, then any larger bin.
+        // SAFETY: bin contents are valid free chunks by invariant.
+        unsafe {
+            if let Some(off) = self.bin_take(need) {
+                let got = self.chunk_size(off);
+                self.split_excess(off, got, need);
+                let final_size = self.chunk_size(off);
+                self.set_chunk(off, final_size, true);
+                self.stats.in_use += final_size;
+                self.stats.live += 1;
+                return Some(NonNull::new_unchecked(self.arena.at(off + HDR)));
+            }
+        }
+        // 2. Carve from the top chunk, growing the break if needed.
+        self.carve_top(need)
+    }
+
+    unsafe fn bin_take(&mut self, need: usize) -> Option<usize> {
+        // SAFETY: all offsets in bins are valid free chunks.
+        unsafe {
+            let start = bin_index(need);
+            // Exact/first-fit scan in the home bin.
+            let mut cur = self.bins[start];
+            while cur != NIL {
+                if self.chunk_size(cur) >= need {
+                    self.bin_unlink(cur);
+                    return Some(cur);
+                }
+                cur = self.fd(cur);
+            }
+            // Any chunk in a higher bin is large enough.
+            for b in (start + 1)..NBINS {
+                let head = self.bins[b];
+                if head != NIL {
+                    debug_assert!(self.chunk_size(head) >= need);
+                    self.bin_unlink(head);
+                    return Some(head);
+                }
+            }
+            None
+        }
+    }
+
+    /// Splits chunk `off` (currently sized `got`) down to `need`, binning
+    /// the remainder when it is big enough to stand alone.
+    ///
+    /// # Safety
+    /// `off` must be an unlinked free chunk of size `got`.
+    unsafe fn split_excess(&mut self, off: usize, got: usize, need: usize) {
+        debug_assert!(got >= need);
+        if got - need >= MIN_CHUNK {
+            // SAFETY: both sub-chunks lie inside the old chunk's extent.
+            unsafe {
+                self.set_chunk(off, need, false);
+                let rem = off + need;
+                self.write_word(rem, need); // prev_size of remainder
+                self.set_chunk(rem, got - need, false);
+                self.bin_push(rem);
+            }
+        }
+    }
+
+    fn carve_top(&mut self, need: usize) -> Option<NonNull<u8>> {
+        if self.top_free() < need {
+            // Glibc expands by exactly the shortfall (paper §2.1).
+            let grow = need - self.top_free();
+            let new_brk = round_up(self.brk_off + grow, PAGE);
+            if new_brk > self.arena.capacity() - PAGE {
+                return None;
+            }
+            self.brk_off = new_brk;
+        }
+        let off = self.top_off;
+        let end = off + need;
+        // Demand-fault any pages beyond the committed watermark: this is
+        // the slow path Hermes' advance reservation avoids.
+        if end + HDR > self.committed_off {
+            let before = self.committed_off;
+            self.commit_to(end + HDR);
+            self.stats.demand_touched_pages += ((self.committed_off - before) / PAGE) as u64;
+        }
+        self.top_off = end;
+        // SAFETY: [off, end+8) committed above; prev_size already stamped
+        // at `off` by the previous carve/free.
+        unsafe {
+            self.set_chunk(off, need, true);
+            // Stamp prev_size at the new top position for the next carve.
+            self.write_word(end, need);
+            self.stats.in_use += need;
+            self.stats.live += 1;
+            Some(NonNull::new_unchecked(self.arena.at(off + HDR)))
+        }
+    }
+
+    /// Allocates `size` bytes aligned to `align` (a power of two).
+    pub fn memalign(&mut self, align: usize, size: usize) -> Option<NonNull<u8>> {
+        debug_assert!(align.is_power_of_two());
+        if align <= ALIGN {
+            return self.malloc(size);
+        }
+        let padded = size + align + MIN_CHUNK;
+        let raw = self.malloc(padded)?;
+        let payload = raw.as_ptr() as usize;
+        let base = self.arena.base().as_ptr() as usize;
+        let off = payload - base - HDR;
+        // SAFETY: `off` is the live chunk just returned by malloc.
+        unsafe {
+            let chunk_size = self.chunk_size(off);
+            let mut aligned_payload = round_up(payload, align);
+            if aligned_payload != payload && aligned_payload - payload < MIN_CHUNK {
+                aligned_payload += align;
+            }
+            if aligned_payload == payload {
+                return Some(raw);
+            }
+            let new_off = aligned_payload - base - HDR;
+            let prefix = new_off - off;
+            debug_assert!(prefix >= MIN_CHUNK);
+            let rest = chunk_size - prefix;
+            debug_assert!(rest >= size + HDR);
+            // Undo the in_use accounting for the original chunk; re-add
+            // for the aligned one.
+            self.stats.in_use -= chunk_size;
+            self.stats.live -= 1;
+            // Prefix becomes a free chunk.
+            self.set_chunk(off, prefix, false);
+            self.write_word(new_off, prefix);
+            self.set_chunk(new_off, rest, true);
+            self.stats.in_use += rest;
+            self.stats.live += 1;
+            self.bin_push(off);
+            Some(NonNull::new_unchecked(self.arena.at(new_off + HDR)))
+        }
+    }
+
+    /// Frees the allocation at `ptr`, coalescing with free neighbours and
+    /// the top chunk.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been returned by this heap's `malloc`/`memalign`
+    /// and not freed since.
+    pub unsafe fn free(&mut self, ptr: NonNull<u8>) {
+        let base = self.arena.base().as_ptr() as usize;
+        let mut off = ptr.as_ptr() as usize - base - HDR;
+        // SAFETY: per contract `off` heads a live chunk.
+        unsafe {
+            debug_assert!(self.chunk_in_use(off), "double free at {off:#x}");
+            let mut size = self.chunk_size(off);
+            self.stats.in_use -= size;
+            self.stats.live -= 1;
+            // Coalesce with the physically previous chunk.
+            if off > 0 {
+                let psize = self.prev_size(off);
+                let poff = off - psize;
+                if psize != 0 && !self.chunk_in_use(poff) {
+                    self.bin_unlink(poff);
+                    off = poff;
+                    size += psize;
+                }
+            }
+            // Coalesce with the next chunk (or the top).
+            let next = off + size;
+            if next == self.top_off {
+                // Merge into the top chunk.
+                self.top_off = off;
+                // The prev_size stamp for the new top position is already
+                // the prev_size field at `off`.
+                return;
+            }
+            if !self.chunk_in_use(next) {
+                self.bin_unlink(next);
+                size += self.chunk_size(next);
+                let after = off + size;
+                if after == self.top_off {
+                    self.top_off = off;
+                    return;
+                }
+            }
+            self.set_chunk(off, size, false);
+            self.bin_push(off);
+        }
+    }
+
+    /// Usable payload bytes of the allocation at `ptr`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must head a live allocation of this heap.
+    pub unsafe fn usable_size(&self, ptr: NonNull<u8>) -> usize {
+        let base = self.arena.base().as_ptr() as usize;
+        let off = ptr.as_ptr() as usize - base - HDR;
+        // SAFETY: per contract.
+        unsafe { self.chunk_size(off) - HDR }
+    }
+
+    /// Walks the whole heap verifying structural invariants; used by the
+    /// test suite and property tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        let mut off = 0usize;
+        let mut prev: Option<(usize, usize, bool)> = None;
+        let mut free_bytes = 0usize;
+        let mut in_use_bytes = 0usize;
+        let mut live = 0usize;
+        while off < self.top_off {
+            // SAFETY: chunks in [0, top_off) are committed by invariant.
+            let (size, in_use, stamped_prev) = unsafe {
+                (
+                    self.chunk_size(off),
+                    self.chunk_in_use(off),
+                    self.prev_size(off),
+                )
+            };
+            if size < MIN_CHUNK || size % ALIGN != 0 {
+                return Err(format!("chunk {off:#x}: bad size {size}"));
+            }
+            if let Some((poff, psize, pfree)) = prev {
+                if stamped_prev != psize {
+                    return Err(format!(
+                        "chunk {off:#x}: prev_size {stamped_prev} != {psize} (prev at {poff:#x})"
+                    ));
+                }
+                if pfree && !in_use {
+                    return Err(format!("adjacent free chunks at {poff:#x} and {off:#x}"));
+                }
+            }
+            if in_use {
+                in_use_bytes += size;
+                live += 1;
+            } else {
+                free_bytes += size;
+            }
+            prev = Some((off, size, !in_use));
+            off += size;
+        }
+        if off != self.top_off {
+            return Err(format!("chunk walk overran top: {off:#x} vs {:#x}", self.top_off));
+        }
+        // Free-list consistency.
+        let mut linked = 0usize;
+        for (b, &head) in self.bins.iter().enumerate() {
+            let mut cur = head;
+            let mut prev_link = NIL;
+            while cur != NIL {
+                // SAFETY: invariant — bins reference committed free chunks.
+                let (size, in_use, bk) = unsafe { (self.chunk_size(cur), self.chunk_in_use(cur), self.bk(cur)) };
+                if in_use {
+                    return Err(format!("bin {b}: in-use chunk {cur:#x} linked"));
+                }
+                if bin_index(size) != b {
+                    return Err(format!("bin {b}: chunk {cur:#x} size {size} misfiled"));
+                }
+                if bk != prev_link {
+                    return Err(format!("bin {b}: back-link broken at {cur:#x}"));
+                }
+                linked += size;
+                prev_link = cur;
+                // SAFETY: as above.
+                cur = unsafe { self.fd(cur) };
+            }
+        }
+        if linked != free_bytes {
+            return Err(format!("binned {linked} != walked free {free_bytes}"));
+        }
+        if self.stats.binned != free_bytes {
+            return Err(format!("stats.binned {} != {free_bytes}", self.stats.binned));
+        }
+        if self.stats.in_use != in_use_bytes || self.stats.live != live {
+            return Err("in-use stats drift".into());
+        }
+        if self.top_off > self.brk_off {
+            return Err("top beyond break".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap(pages: usize) -> RawHeap {
+        RawHeap::new(Arena::reserve(PAGE * pages).unwrap())
+    }
+
+    #[test]
+    fn bin_index_classes() {
+        assert_eq!(bin_index(MIN_CHUNK), 0);
+        assert_eq!(bin_index(48), 1);
+        assert_eq!(bin_index(SMALL_MAX), SMALL_BINS - 1);
+        assert_eq!(bin_index(SMALL_MAX + 16), SMALL_BINS);
+        assert_eq!(bin_index(2048), SMALL_BINS);
+        assert_eq!(bin_index(2064), SMALL_BINS + 1);
+        assert_eq!(bin_index(1 << 20), NBINS - 1);
+    }
+
+    #[test]
+    fn alloc_writes_are_usable() {
+        let mut h = heap(64);
+        let p = h.malloc(100).unwrap();
+        // SAFETY: fresh allocation of >= 100 bytes.
+        unsafe {
+            std::ptr::write_bytes(p.as_ptr(), 0xAB, 100);
+            assert_eq!(*p.as_ptr(), 0xAB);
+            assert!(h.usable_size(p) >= 100);
+        }
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn free_and_reuse_same_chunk() {
+        let mut h = heap(64);
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        // SAFETY: a is live.
+        unsafe { h.free(a) };
+        let c = h.malloc(64).unwrap();
+        assert_eq!(a, c, "freed chunk is reused");
+        // SAFETY: b, c live.
+        unsafe {
+            h.free(b);
+            h.free(c);
+        }
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut h = heap(64);
+        let a = h.malloc(48).unwrap();
+        let b = h.malloc(48).unwrap();
+        let _guard = h.malloc(48).unwrap(); // keep top away
+        // SAFETY: both live.
+        unsafe {
+            h.free(a);
+            h.free(b);
+        }
+        h.check_integrity().unwrap();
+        // The merged chunk serves a request bigger than either part.
+        let big = h.malloc(96).unwrap();
+        let base = h.arena.base().as_ptr() as usize;
+        assert_eq!(big.as_ptr() as usize, a.as_ptr() as usize, "merged in place");
+        let _ = base;
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn free_adjacent_to_top_merges_into_top() {
+        let mut h = heap(64);
+        let a = h.malloc(1000).unwrap();
+        let top_after_alloc = h.top_free();
+        // SAFETY: a live.
+        unsafe { h.free(a) };
+        assert!(
+            h.top_free() > top_after_alloc + 1000,
+            "chunk merged back into top, not binned"
+        );
+        assert_eq!(h.stats().binned, 0);
+        // The same address is carved again.
+        let b = h.malloc(1000).unwrap();
+        assert_eq!(a, b);
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn top_carve_faults_fresh_pages() {
+        let mut h = heap(256);
+        let s0 = h.stats();
+        let _p = h.malloc(PAGE * 8).unwrap();
+        let s1 = h.stats();
+        assert!(s1.demand_touched_pages > s0.demand_touched_pages);
+        // After sbrk_commit (the manager's reservation) no demand faults.
+        h.sbrk_commit(PAGE * 32).unwrap();
+        let s2 = h.stats();
+        let _q = h.malloc(PAGE * 8).unwrap();
+        let s3 = h.stats();
+        assert_eq!(
+            s3.demand_touched_pages, s2.demand_touched_pages,
+            "reserved memory carves without faults"
+        );
+        assert!(h.reserve_ready() > 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut h = heap(4);
+        assert!(h.malloc(PAGE * 16).is_none());
+        // Heap still works afterwards.
+        assert!(h.malloc(64).is_some());
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn trim_shrinks_break() {
+        let mut h = heap(64);
+        h.sbrk_commit(PAGE * 16).unwrap();
+        let free = h.top_free();
+        assert!(free >= PAGE * 16);
+        let released = h.trim(PAGE);
+        assert!(released > 0);
+        assert!(h.top_free() <= PAGE + PAGE); // keep + rounding
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn memalign_returns_aligned_and_freeable() {
+        let mut h = heap(256);
+        for align in [32usize, 64, 256, 4096] {
+            let p = h.memalign(align, 200).unwrap();
+            assert_eq!(p.as_ptr() as usize % align, 0, "align {align}");
+            // SAFETY: fresh 200-byte allocation.
+            unsafe {
+                std::ptr::write_bytes(p.as_ptr(), 0x5A, 200);
+                h.free(p);
+            }
+            h.check_integrity().unwrap();
+        }
+    }
+
+    #[test]
+    fn interleaved_pattern_keeps_invariants() {
+        let mut h = heap(512);
+        let mut live: Vec<NonNull<u8>> = Vec::new();
+        for i in 0..300usize {
+            let size = 16 + (i * 37) % 2000;
+            let p = h.malloc(size).unwrap();
+            // SAFETY: fresh allocation.
+            unsafe { std::ptr::write_bytes(p.as_ptr(), (i & 0xff) as u8, size) };
+            live.push(p);
+            if i % 3 == 0 {
+                let victim = live.swap_remove((i * 7) % live.len());
+                // SAFETY: victim is live and removed from the set.
+                unsafe { h.free(victim) };
+            }
+        }
+        h.check_integrity().unwrap();
+        for p in live {
+            // SAFETY: still live.
+            unsafe { h.free(p) };
+        }
+        h.check_integrity().unwrap();
+        assert_eq!(h.stats().live, 0);
+        assert_eq!(h.stats().in_use, 0);
+    }
+
+    #[test]
+    fn split_leaves_usable_remainder() {
+        let mut h = heap(64);
+        let a = h.malloc(2048).unwrap();
+        let _hold = h.malloc(64).unwrap();
+        // SAFETY: a live.
+        unsafe { h.free(a) };
+        // A small request splits the 2 KiB free chunk.
+        let b = h.malloc(100).unwrap();
+        assert_eq!(b, a);
+        let c = h.malloc(100).unwrap();
+        // Remainder sits right after b.
+        assert!(c.as_ptr() as usize > b.as_ptr() as usize);
+        h.check_integrity().unwrap();
+    }
+}

@@ -1,0 +1,455 @@
+//! The mmap-path allocator: page-granular large chunks (≥ 128 KB) with the
+//! Hermes segregated pool (§3.2.2).
+//!
+//! Chunks are carved from a dedicated arena. A freed or pre-reserved chunk
+//! goes into the [`SegregatedFreeList`]; handing one out is allocation-
+//! latency-free because its pages were already touched. Over-sized
+//! hand-outs are registered in the [`DelayedShrinkSet`] and trimmed back on
+//! the next management round, so the requester never waits for the shrink.
+//!
+//! Divergence from the paper (recorded in DESIGN.md): real `mremap`-style
+//! in-place expansion and `munmap`-decommit are not portably available
+//! without libc, so "expand the largest chunk" falls back to carving a
+//! fresh chunk, and trimmed memory is recycled through an extent list
+//! instead of being returned to the kernel.
+
+use super::arena::{Arena, PAGE};
+use crate::policy::{DelayedShrinkSet, MmapChunk, PoolHit, SegregatedFreeList};
+use std::fmt;
+use std::ptr::NonNull;
+
+const MAGIC: u64 = 0x4845_524d_4553_u64; // "HERMES"
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct LargeHeader {
+    chunk_off: u64,
+    chunk_size: u64,
+    magic: u64,
+}
+
+/// Counters for the large path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LargeStats {
+    /// Bytes held ready in the segregated pool.
+    pub pool_bytes: usize,
+    /// Live large allocations.
+    pub live: usize,
+    /// Bytes in live large allocations (chunk sizes).
+    pub live_bytes: usize,
+    /// Requests served from the pre-touched pool (no faults).
+    pub pool_hits: u64,
+    /// Requests that fell back to a cold carve (the default mmap path).
+    pub cold_allocs: u64,
+    /// Pages touched on the cold path.
+    pub demand_touched_pages: u64,
+    /// Bytes recycled through the extent list.
+    pub extent_bytes: usize,
+}
+
+/// The large-chunk allocator.
+pub struct LargePool {
+    arena: Arena,
+    bump_off: usize,
+    pool: SegregatedFreeList,
+    shrink: DelayedShrinkSet,
+    /// Recyclable extents (offset, size), page-granular.
+    extents: Vec<(usize, usize)>,
+    stats: LargeStats,
+    min_mmap: usize,
+}
+
+// SAFETY: LargePool exclusively owns its arena; embedders synchronise.
+unsafe impl Send for LargePool {}
+
+impl fmt::Debug for LargePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LargePool")
+            .field("bump_off", &self.bump_off)
+            .field("pool_total", &self.pool.total_size())
+            .field("extents", &self.extents.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+fn round_up(v: usize, q: usize) -> usize {
+    v.div_ceil(q) * q
+}
+
+impl LargePool {
+    /// Creates a pool over `arena` with the given mmap threshold and
+    /// segregated-table size (128 KB / 8 in the paper).
+    pub fn new(arena: Arena, min_mmap: usize, table_size: usize) -> Self {
+        LargePool {
+            arena,
+            bump_off: 0,
+            pool: SegregatedFreeList::new(min_mmap, table_size),
+            shrink: DelayedShrinkSet::new(),
+            // Capacity is pre-reserved so pushes do not re-enter the
+            // global allocator with a large request (see module docs).
+            extents: Vec::with_capacity(4096),
+            stats: LargeStats::default(),
+            min_mmap,
+        }
+    }
+
+    /// Stats snapshot.
+    pub fn stats(&self) -> LargeStats {
+        LargeStats {
+            pool_bytes: self.pool.total_size(),
+            extent_bytes: self.extents.iter().map(|&(_, s)| s).sum(),
+            ..self.stats
+        }
+    }
+
+    /// Bytes held ready in the pool (`memory_pool.total_size`).
+    pub fn pool_total(&self) -> usize {
+        self.pool.total_size()
+    }
+
+    /// `true` if `ptr` belongs to this pool's arena.
+    pub fn contains(&self, ptr: *const u8) -> bool {
+        self.arena.contains(ptr)
+    }
+
+    fn carve(&mut self, need: usize) -> Option<(usize, bool)> {
+        // Best-fit from recycled extents first (already-touched pages).
+        let mut best: Option<(usize, usize)> = None; // (index, size)
+        for (i, &(_, sz)) in self.extents.iter().enumerate() {
+            if sz >= need && best.is_none_or(|(_, bs)| sz < bs) {
+                best = Some((i, sz));
+            }
+        }
+        if let Some((i, sz)) = best {
+            let (off, _) = self.extents.swap_remove(i);
+            if sz > need {
+                self.extents.push((off + need, sz - need));
+            }
+            return Some((off, true));
+        }
+        // Cold path: bump-allocate fresh, untouched pages.
+        if self.bump_off + need > self.arena.capacity() {
+            return None;
+        }
+        let off = self.bump_off;
+        self.bump_off += need;
+        Some((off, false))
+    }
+
+    fn write_header(&mut self, payload_off: usize, chunk_off: usize, chunk_size: usize) {
+        debug_assert!(payload_off >= chunk_off + PAGE);
+        let hdr = LargeHeader {
+            chunk_off: chunk_off as u64,
+            chunk_size: chunk_size as u64,
+            magic: MAGIC,
+        };
+        // SAFETY: the header page [payload_off-PAGE, payload_off) lies
+        // within the chunk and was touched by carve/pool reservation.
+        unsafe {
+            (self.arena.at(payload_off - PAGE) as *mut LargeHeader).write(hdr);
+        }
+    }
+
+    fn read_header(&self, ptr: *const u8) -> LargeHeader {
+        let base = self.arena.base().as_ptr() as usize;
+        let payload_off = ptr as usize - base;
+        debug_assert!(payload_off >= PAGE);
+        // SAFETY: per dealloc contract the pointer came from `alloc`,
+        // whose header page precedes the payload.
+        let hdr = unsafe { (self.arena.at(payload_off - PAGE) as *const LargeHeader).read() };
+        debug_assert_eq!(hdr.magic, MAGIC, "corrupt large header");
+        hdr
+    }
+
+    /// Allocates `size` bytes aligned to `align` (page-aligned payloads;
+    /// larger powers of two honoured by padding).
+    pub fn alloc(&mut self, size: usize, align: usize) -> Option<NonNull<u8>> {
+        let pad = if align > PAGE { align } else { 0 };
+        let need = round_up(size + PAGE + pad, PAGE);
+        let (chunk_off, chunk_size, warm) = match self.pool.take(need) {
+            PoolHit::Fit(c) => (c.id as usize, c.size, true),
+            PoolHit::Expand { chunk, .. } => {
+                // No mremap: put the too-small chunk back, carve fresh.
+                self.pool.insert(chunk);
+                let (off, recycled) = self.carve(need)?;
+                (off, need, recycled)
+            }
+            PoolHit::Miss => {
+                let (off, recycled) = self.carve(need)?;
+                (off, need, recycled)
+            }
+        };
+        if warm {
+            self.stats.pool_hits += 1;
+        } else {
+            self.stats.cold_allocs += 1;
+            self.stats.demand_touched_pages += (chunk_size / PAGE) as u64;
+            self.arena.touch(chunk_off, chunk_size);
+        }
+        let base = self.arena.base().as_ptr() as usize;
+        let payload_off = if pad == 0 {
+            chunk_off + PAGE
+        } else {
+            round_up(base + chunk_off + PAGE, align) - base
+        };
+        self.write_header(payload_off, chunk_off, chunk_size);
+        // Register over-sized plain hand-outs for delayed shrink (aligned
+        // chunks keep their padding; the header location depends on it).
+        if pad == 0 && chunk_size > need {
+            self.shrink.push(chunk_off as u64, chunk_size, need);
+        }
+        self.stats.live += 1;
+        self.stats.live_bytes += chunk_size;
+        // SAFETY: payload_off is within the chunk, which is within the
+        // arena, and at least `size` bytes remain after it.
+        Some(unsafe { NonNull::new_unchecked(self.arena.at(payload_off)) })
+    }
+
+    /// Frees the allocation at `ptr`; the chunk returns to the pool for
+    /// reuse by future requests or the trim pass.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been returned by [`LargePool::alloc`] and not freed
+    /// since.
+    pub unsafe fn free(&mut self, ptr: NonNull<u8>) {
+        let hdr = self.read_header(ptr.as_ptr());
+        let id = hdr.chunk_off;
+        self.shrink.cancel(id);
+        self.stats.live -= 1;
+        self.stats.live_bytes -= hdr.chunk_size as usize;
+        self.pool.insert(MmapChunk {
+            id,
+            size: hdr.chunk_size as usize,
+        });
+    }
+
+    /// Management round, mmap side (Algorithm 2): processes the delayed
+    /// shrink set, reserves pre-touched chunks up to `tgt_mem` when the
+    /// pool is below `rsv_thr`, and releases the smallest chunks above
+    /// `trim_thr`. `mem_chunk` is the per-reservation chunk size.
+    ///
+    /// Returns the number of chunks newly reserved.
+    pub fn management_round(
+        &mut self,
+        rsv_thr: usize,
+        tgt_mem: usize,
+        trim_thr: usize,
+        mem_chunk: usize,
+    ) -> usize {
+        self.process_delayed_shrink();
+        let mut reserved = 0;
+        if self.pool.total_size() < rsv_thr {
+            let step = round_up(mem_chunk.max(self.min_mmap), PAGE);
+            while self.pool.total_size() < tgt_mem {
+                if !self.reserve_chunk(step) {
+                    break;
+                }
+                reserved += 1;
+            }
+        }
+        while self.pool.total_size() > trim_thr {
+            match self.pool.take_smallest() {
+                Some(c) => self.extents.push((c.id as usize, c.size)),
+                None => break,
+            }
+        }
+        reserved
+    }
+
+    /// Carves and pre-touches one chunk of `bytes`, adding it to the pool.
+    /// Returns `false` when the arena is exhausted.
+    pub fn reserve_chunk(&mut self, bytes: usize) -> bool {
+        let need = round_up(bytes, PAGE);
+        match self.carve(need) {
+            Some((off, warm)) => {
+                if !warm {
+                    self.arena.touch(off, need);
+                }
+                self.pool.insert(MmapChunk {
+                    id: off as u64,
+                    size: need,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Applies the delayed shrink set: each over-sized live chunk is cut
+    /// back to its requested size and the tail recycled.
+    pub fn process_delayed_shrink(&mut self) -> usize {
+        let entries = self.shrink.drain();
+        let mut released = 0;
+        for e in entries {
+            let off = e.id as usize;
+            let tail = e.allocated - e.requested;
+            debug_assert!(tail % PAGE == 0 || tail > 0);
+            let tail_pages = tail / PAGE * PAGE;
+            if tail_pages == 0 {
+                continue;
+            }
+            self.extents.push((off + e.allocated - tail_pages, tail_pages));
+            self.stats.live_bytes -= tail_pages;
+            released += tail_pages;
+            // Rewrite the header with the reduced size (plain hand-outs
+            // have their header in the chunk's first page).
+            self.write_header(off + PAGE, off, e.allocated - tail_pages);
+        }
+        released
+    }
+
+    /// Pending shrink entries (diagnostics).
+    pub fn shrink_pending(&self) -> usize {
+        self.shrink.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: usize = 1024;
+    const THRESH: usize = 128 * KB;
+
+    fn pool(cap_mb: usize) -> LargePool {
+        LargePool::new(Arena::reserve(cap_mb << 20).unwrap(), THRESH, 8)
+    }
+
+    #[test]
+    fn cold_alloc_and_free_round_trip() {
+        let mut p = pool(16);
+        let a = p.alloc(256 * KB, PAGE).unwrap();
+        assert_eq!(a.as_ptr() as usize % PAGE, 0);
+        // SAFETY: fresh allocation.
+        unsafe {
+            std::ptr::write_bytes(a.as_ptr(), 0xCD, 256 * KB);
+            p.free(a);
+        }
+        let s = p.stats();
+        assert_eq!(s.live, 0);
+        assert_eq!(s.cold_allocs, 1);
+        assert!(s.pool_bytes >= 256 * KB, "freed chunk joins the pool");
+    }
+
+    #[test]
+    fn pool_hit_after_free_is_warm() {
+        let mut p = pool(16);
+        let a = p.alloc(256 * KB, PAGE).unwrap();
+        // SAFETY: a live.
+        unsafe { p.free(a) };
+        let b = p.alloc(200 * KB, PAGE).unwrap();
+        assert_eq!(p.stats().pool_hits, 1);
+        // SAFETY: b live.
+        unsafe { p.free(b) };
+    }
+
+    #[test]
+    fn reserve_then_alloc_has_no_cold_path() {
+        let mut p = pool(16);
+        assert!(p.reserve_chunk(512 * KB));
+        let before = p.stats().demand_touched_pages;
+        let a = p.alloc(300 * KB, PAGE).unwrap();
+        assert_eq!(p.stats().demand_touched_pages, before);
+        assert_eq!(p.stats().pool_hits, 1);
+        // SAFETY: a live.
+        unsafe { p.free(a) };
+    }
+
+    #[test]
+    fn oversized_handout_shrinks_on_next_round() {
+        let mut p = pool(16);
+        assert!(p.reserve_chunk(1024 * KB));
+        let a = p.alloc(256 * KB, PAGE).unwrap();
+        assert_eq!(p.shrink_pending(), 1);
+        let released = p.process_delayed_shrink();
+        assert!(released > 0, "tail recycled");
+        assert_eq!(p.shrink_pending(), 0);
+        // The chunk header now reflects the reduced size; freeing returns
+        // only the kept part.
+        // SAFETY: a live.
+        unsafe { p.free(a) };
+        let s = p.stats();
+        assert_eq!(s.live, 0);
+        assert!(s.extent_bytes >= released);
+    }
+
+    #[test]
+    fn free_before_round_cancels_shrink() {
+        let mut p = pool(16);
+        assert!(p.reserve_chunk(1024 * KB));
+        let a = p.alloc(256 * KB, PAGE).unwrap();
+        assert_eq!(p.shrink_pending(), 1);
+        // SAFETY: a live.
+        unsafe { p.free(a) };
+        assert_eq!(p.shrink_pending(), 0, "freeing cancels the shrink");
+        assert_eq!(p.process_delayed_shrink(), 0);
+    }
+
+    #[test]
+    fn management_round_reserves_to_target() {
+        let mut p = pool(64);
+        let reserved = p.management_round(1 << 20, 2 << 20, 8 << 20, 256 * KB);
+        assert!(reserved >= 8, "reserved {reserved} chunks");
+        assert!(p.pool_total() >= 2 << 20);
+        // A second round with a tiny trim threshold releases chunks.
+        p.management_round(0, 0, 256 * KB, 256 * KB);
+        assert!(p.pool_total() <= 256 * KB);
+        assert!(p.stats().extent_bytes > 0);
+    }
+
+    #[test]
+    fn extents_are_recycled_before_bumping() {
+        let mut p = pool(16);
+        let a = p.alloc(512 * KB, PAGE).unwrap();
+        // SAFETY: a live.
+        unsafe { p.free(a) };
+        // Trim everything into extents.
+        p.management_round(0, 0, 0, 256 * KB);
+        let bump_before = p.bump_off;
+        let b = p.alloc(256 * KB, PAGE).unwrap();
+        assert_eq!(p.bump_off, bump_before, "served from extents");
+        // SAFETY: b live.
+        unsafe { p.free(b) };
+    }
+
+    #[test]
+    fn high_alignment_honoured() {
+        let mut p = pool(16);
+        let a = p.alloc(256 * KB, 64 * KB).unwrap();
+        assert_eq!(a.as_ptr() as usize % (64 * KB), 0);
+        // SAFETY: fresh allocation.
+        unsafe {
+            std::ptr::write_bytes(a.as_ptr(), 1, 256 * KB);
+            p.free(a);
+        }
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut p = pool(1);
+        assert!(p.alloc(16 << 20, PAGE).is_none());
+        // Smaller request still succeeds.
+        let a = p.alloc(256 * KB, PAGE);
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn live_accounting_over_many_ops() {
+        let mut p = pool(64);
+        let mut live = Vec::new();
+        for i in 0..40 {
+            let sz = THRESH + (i % 5) * 64 * KB;
+            live.push((p.alloc(sz, PAGE).unwrap(), sz));
+        }
+        assert_eq!(p.stats().live, 40);
+        for (ptr, _) in live.drain(..) {
+            // SAFETY: each pointer is live exactly once.
+            unsafe { p.free(ptr) };
+        }
+        let s = p.stats();
+        assert_eq!(s.live, 0);
+        assert_eq!(s.live_bytes, 0);
+    }
+}

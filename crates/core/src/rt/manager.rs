@@ -1,0 +1,111 @@
+//! The memory management thread (§3.2, Figure 5).
+//!
+//! Wakes every `f` (2 ms by default), recomputes thresholds from the last
+//! interval's demand and then:
+//!
+//! * **heap side** (Algorithm 1) — if the committed top-chunk reserve is
+//!   below `RSV_THR`, *gradually* extends and touches the break in
+//!   `MEM_CHUNK`-sized steps, taking the heap lock per step so concurrent
+//!   `malloc`s interleave (Figure 6(b)); trims above `TRIM_THR`;
+//! * **mmap side** (Algorithm 2) — processes the delayed-shrink set,
+//!   refills the segregated pool to `TGT_MEM`, releases above `TRIM_THR`.
+
+use super::stats::Counters;
+use super::{lock, Shared};
+use crate::policy::ReservationPlan;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+pub(crate) struct ManagerHandle {
+    stop_tx: Sender<()>,
+    join: JoinHandle<()>,
+}
+
+impl ManagerHandle {
+    pub(crate) fn spawn(shared: Arc<Shared>) -> Self {
+        let (stop_tx, stop_rx) = bounded(1);
+        let join = std::thread::Builder::new()
+            .name("hermes-mgmt".into())
+            .spawn(move || manager_loop(shared, stop_rx))
+            .expect("spawn management thread");
+        ManagerHandle { stop_tx, join }
+    }
+
+    pub(crate) fn stop(self) {
+        let _ = self.stop_tx.send(());
+        let _ = self.join.join();
+    }
+}
+
+fn manager_loop(shared: Arc<Shared>, stop_rx: Receiver<()>) {
+    let interval = shared.cfg.interval;
+    loop {
+        match stop_rx.recv_timeout(interval) {
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        run_round(&shared);
+    }
+}
+
+/// One management round over both paths. Public within the crate so tests
+/// and deterministic benchmarks can drive it without a live thread.
+pub(crate) fn run_round(shared: &Shared) {
+    let t0 = Instant::now();
+    heap_round(shared);
+    large_round(shared);
+    Counters::add(&shared.counters.manager_rounds, 1);
+    Counters::add(
+        &shared.counters.manager_busy_ns,
+        t0.elapsed().as_nanos() as u64,
+    );
+}
+
+fn heap_round(shared: &Shared) {
+    // Roll the interval and read the current reserve under the lock.
+    let (th, ready, top_free) = {
+        let mut g = lock(&shared.heap);
+        let th = g.tracker.roll_interval();
+        (th, g.raw.reserve_ready(), g.raw.top_free())
+    };
+    if ready < th.rsv_thr {
+        // Gradual reservation: one lock acquisition per MEM_CHUNK step, so
+        // a burst of mallocs is blocked only for a single small step.
+        let deficit = th.tgt_mem - ready;
+        let plan = if shared.cfg.gradual_reservation {
+            ReservationPlan::new(deficit, th.mem_chunk)
+        } else {
+            ReservationPlan::bulk(deficit)
+        };
+        for step in plan {
+            let mut g = lock(&shared.heap);
+            if g.raw.sbrk_commit(step).is_err() {
+                return; // arena exhausted: stop reserving
+            }
+            drop(g);
+            Counters::add(&shared.counters.reserved_bytes, step as u64);
+        }
+    } else if top_free > th.trim_thr {
+        let mut g = lock(&shared.heap);
+        let released = g.raw.trim(th.tgt_mem);
+        drop(g);
+        Counters::add(&shared.counters.trimmed_bytes, released as u64);
+    }
+}
+
+fn large_round(shared: &Shared) {
+    let mut g = lock(&shared.large);
+    let th = g.tracker.roll_interval();
+    let before = g.pool.pool_total();
+    g.pool
+        .management_round(th.rsv_thr, th.tgt_mem, th.trim_thr, th.mem_chunk);
+    let after = g.pool.pool_total();
+    drop(g);
+    if after > before {
+        Counters::add(&shared.counters.reserved_bytes, (after - before) as u64);
+    } else {
+        Counters::add(&shared.counters.trimmed_bytes, (before - after) as u64);
+    }
+}

@@ -1,0 +1,451 @@
+//! The real Hermes allocator: a user-space malloc with advance
+//! reservation, usable as a [`std::alloc::GlobalAlloc`].
+//!
+//! Architecture (mirrors Figure 4 and §3.2 of the paper):
+//!
+//! * [`heap::RawHeap`] — the main heap (brk path) for requests below the
+//!   mmap threshold: boundary-tag chunks, free bins, top chunk, emulated
+//!   program break.
+//! * [`large::LargePool`] — the mmap path: page-granular chunks with the
+//!   segregated pre-touch pool and delayed shrink.
+//! * [`HermesHeap`] — the synchronised front end; spawns the **memory
+//!   management thread** which wakes every `f` ms, rolls the demand
+//!   trackers, gradually reserves (Algorithm 1) and runs the mmap round
+//!   (Algorithm 2).
+//! * [`global::Hermes`] — a zero-sized `#[global_allocator]` facade that
+//!   lazily boots a [`HermesHeap`] from static BSS arenas.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_core::rt::{HermesHeap, HermesHeapConfig};
+//! use std::alloc::Layout;
+//!
+//! let heap = HermesHeap::new(HermesHeapConfig::small()).unwrap();
+//! let layout = Layout::from_size_align(1024, 16).unwrap();
+//! let p = heap.allocate(layout).expect("allocation");
+//! // SAFETY: fresh, correctly sized allocation.
+//! unsafe {
+//!     std::ptr::write_bytes(p.as_ptr(), 0xAA, 1024);
+//!     heap.deallocate(p, layout);
+//! }
+//! ```
+
+pub mod arena;
+pub mod global;
+pub mod heap;
+pub mod large;
+mod manager;
+pub mod stats;
+
+pub use arena::{Arena, ArenaError, PAGE};
+pub use global::Hermes;
+pub use heap::{HeapError, HeapStats, RawHeap};
+pub use large::{LargePool, LargeStats};
+pub use stats::{Counters, CountersSnapshot};
+
+use crate::config::HermesConfig;
+use crate::policy::thresholds::ThresholdTracker;
+use manager::ManagerHandle;
+use std::sync::Mutex;
+use std::alloc::Layout;
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+/// Sizing of a [`HermesHeap`].
+#[derive(Debug, Clone)]
+pub struct HermesHeapConfig {
+    /// Capacity of the main-heap arena.
+    pub heap_capacity: usize,
+    /// Capacity of the large-chunk arena.
+    pub large_capacity: usize,
+    /// Policy knobs.
+    pub hermes: HermesConfig,
+}
+
+impl Default for HermesHeapConfig {
+    fn default() -> Self {
+        HermesHeapConfig {
+            heap_capacity: 256 << 20,
+            large_capacity: 512 << 20,
+            hermes: HermesConfig::default(),
+        }
+    }
+}
+
+impl HermesHeapConfig {
+    /// A small configuration for tests (16 MiB + 64 MiB).
+    pub fn small() -> Self {
+        HermesHeapConfig {
+            heap_capacity: 16 << 20,
+            large_capacity: 64 << 20,
+            hermes: HermesConfig::default(),
+        }
+    }
+}
+
+/// Locks a mutex, ignoring poisoning: the allocator's state transitions
+/// are small and panic-free in release; after a caller panic the state is
+/// still structurally consistent.
+///
+/// `std::sync::Mutex` (futex-based, allocation-free) is required here:
+/// `parking_lot` allocates per-thread parking data through the *global*
+/// allocator on first contention, which would recurse into the very lock
+/// being taken when Hermes is installed as `#[global_allocator]`.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) struct HeapState {
+    pub raw: RawHeap,
+    pub tracker: ThresholdTracker,
+}
+
+pub(crate) struct LargeState {
+    pub pool: LargePool,
+    pub tracker: ThresholdTracker,
+}
+
+pub(crate) struct Shared {
+    pub heap: Mutex<HeapState>,
+    pub large: Mutex<LargeState>,
+    pub counters: Counters,
+    pub cfg: HermesConfig,
+    heap_range: (usize, usize),
+    large_range: (usize, usize),
+}
+
+/// A complete Hermes allocator instance.
+///
+/// Thread-safe: allocation paths take per-side locks; the management
+/// thread (started by [`HermesHeap::start_manager`]) contends on the same
+/// locks in short, gradual steps.
+pub struct HermesHeap {
+    shared: Arc<Shared>,
+    manager: Mutex<Option<ManagerHandle>>,
+}
+
+impl fmt::Debug for HermesHeap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HermesHeap")
+            .field("counters", &self.shared.counters.snapshot())
+            .field("manager_running", &lock(&self.manager).is_some())
+            .finish()
+    }
+}
+
+impl HermesHeap {
+    /// Creates an allocator with dynamically reserved arenas.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArenaError`] when a backing region cannot be reserved.
+    pub fn new(cfg: HermesHeapConfig) -> Result<Self, ArenaError> {
+        let heap_arena = Arena::reserve(cfg.heap_capacity)?;
+        let large_arena = Arena::reserve(cfg.large_capacity)?;
+        Ok(Self::with_arenas(heap_arena, large_arena, cfg.hermes))
+    }
+
+    /// Creates an allocator over caller-provided arenas (used by the
+    /// global-allocator bootstrap, which hands in static BSS regions).
+    pub fn with_arenas(heap_arena: Arena, large_arena: Arena, cfg: HermesConfig) -> Self {
+        let heap_range = {
+            let b = heap_arena.base().as_ptr() as usize;
+            (b, b + heap_arena.capacity())
+        };
+        let large_range = {
+            let b = large_arena.base().as_ptr() as usize;
+            (b, b + large_arena.capacity())
+        };
+        let heap_tracker = ThresholdTracker::new(
+            cfg.rsv_factor,
+            cfg.min_rsv,
+            cfg.rsv_trigger_ratio,
+            cfg.trim_ratio,
+            PAGE,
+            1 << 20,
+        );
+        let large_tracker = ThresholdTracker::new(
+            cfg.rsv_factor,
+            cfg.min_rsv,
+            cfg.rsv_trigger_ratio,
+            cfg.trim_ratio,
+            cfg.mmap_threshold,
+            8 << 20,
+        );
+        let shared = Arc::new(Shared {
+            heap: Mutex::new(HeapState {
+                raw: RawHeap::new(heap_arena),
+                tracker: heap_tracker,
+            }),
+            large: Mutex::new(LargeState {
+                pool: LargePool::new(large_arena, cfg.mmap_threshold, cfg.table_size),
+                tracker: large_tracker,
+            }),
+            counters: Counters::new(),
+            cfg,
+            heap_range,
+            large_range,
+        });
+        HermesHeap {
+            shared,
+            manager: Mutex::new(None),
+        }
+    }
+
+    /// Starts the memory management thread (idempotent).
+    pub fn start_manager(&self) {
+        let mut guard = lock(&self.manager);
+        if guard.is_none() {
+            *guard = Some(ManagerHandle::spawn(Arc::clone(&self.shared)));
+        }
+    }
+
+    /// Stops the management thread, joining it.
+    pub fn stop_manager(&self) {
+        if let Some(h) = lock(&self.manager).take() {
+            h.stop();
+        }
+    }
+
+    /// `true` while the management thread runs.
+    pub fn manager_running(&self) -> bool {
+        lock(&self.manager).is_some()
+    }
+
+    /// Runs one management round synchronously (useful for tests and for
+    /// deterministic benchmarks that do not want a live thread).
+    pub fn run_management_round(&self) {
+        manager::run_round(&self.shared);
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CountersSnapshot {
+        self.shared.counters.snapshot()
+    }
+
+    /// Main-heap statistics.
+    pub fn heap_stats(&self) -> HeapStats {
+        lock(&self.shared.heap).raw.stats()
+    }
+
+    /// Large-path statistics.
+    pub fn large_stats(&self) -> LargeStats {
+        lock(&self.shared.large).pool.stats()
+    }
+
+    /// Bytes currently reserved-but-unused (the §5.5 overhead metric:
+    /// committed top-chunk reserve plus the segregated pool).
+    pub fn reserved_unused_bytes(&self) -> usize {
+        let heap = lock(&self.shared.heap).raw.reserve_ready();
+        let pool = lock(&self.shared.large).pool.pool_total();
+        heap + pool
+    }
+
+    /// Allocates per `layout`. Returns `None` on arena exhaustion.
+    pub fn allocate(&self, layout: Layout) -> Option<NonNull<u8>> {
+        let size = layout.size().max(1);
+        Counters::add(&self.shared.counters.alloc_count, 1);
+        if size < self.shared.cfg.mmap_threshold {
+            let mut g = lock(&self.shared.heap);
+            g.tracker.on_request(size);
+            let before = g.raw.stats().demand_touched_pages;
+            let p = g.raw.memalign(layout.align(), size)?;
+            let faulted = g.raw.stats().demand_touched_pages > before;
+            drop(g);
+            Counters::add(
+                if faulted {
+                    &self.shared.counters.slow_small
+                } else {
+                    &self.shared.counters.fast_small
+                },
+                1,
+            );
+            Some(p)
+        } else {
+            let mut g = lock(&self.shared.large);
+            g.tracker.on_request(size);
+            let before = g.pool.stats().cold_allocs;
+            let p = g.pool.alloc(size, layout.align())?;
+            let cold = g.pool.stats().cold_allocs > before;
+            drop(g);
+            Counters::add(
+                if cold {
+                    &self.shared.counters.slow_large
+                } else {
+                    &self.shared.counters.fast_large
+                },
+                1,
+            );
+            Some(p)
+        }
+    }
+
+    /// Frees an allocation made by [`HermesHeap::allocate`].
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from this heap's `allocate` with the same `layout`
+    /// and must not have been freed already.
+    pub unsafe fn deallocate(&self, ptr: NonNull<u8>, layout: Layout) {
+        let _ = layout;
+        Counters::add(&self.shared.counters.free_count, 1);
+        let addr = ptr.as_ptr() as usize;
+        if addr >= self.shared.large_range.0 && addr < self.shared.large_range.1 {
+            // SAFETY: pointer belongs to the large arena per range check
+            // and the caller's contract.
+            unsafe { lock(&self.shared.large).pool.free(ptr) }
+        } else {
+            debug_assert!(
+                addr >= self.shared.heap_range.0 && addr < self.shared.heap_range.1,
+                "foreign pointer"
+            );
+            // SAFETY: pointer belongs to the main heap per the contract.
+            unsafe { lock(&self.shared.heap).raw.free(ptr) }
+        }
+    }
+}
+
+impl Drop for HermesHeap {
+    fn drop(&mut self) {
+        self.stop_manager();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn layout(size: usize) -> Layout {
+        Layout::from_size_align(size, 16).unwrap()
+    }
+
+    #[test]
+    fn small_and_large_round_trip() {
+        let h = HermesHeap::new(HermesHeapConfig::small()).unwrap();
+        let s = h.allocate(layout(100)).unwrap();
+        let l = h.allocate(layout(300 * 1024)).unwrap();
+        // SAFETY: fresh allocations of the stated sizes.
+        unsafe {
+            std::ptr::write_bytes(s.as_ptr(), 1, 100);
+            std::ptr::write_bytes(l.as_ptr(), 2, 300 * 1024);
+            h.deallocate(s, layout(100));
+            h.deallocate(l, layout(300 * 1024));
+        }
+        let c = h.counters();
+        assert_eq!(c.alloc_count, 2);
+        assert_eq!(c.free_count, 2);
+    }
+
+    #[test]
+    fn management_round_builds_reserve() {
+        let h = HermesHeap::new(HermesHeapConfig::small()).unwrap();
+        // Create demand so the trackers see a non-trivial interval.
+        let mut ptrs = Vec::new();
+        for _ in 0..100 {
+            ptrs.push(h.allocate(layout(2048)).unwrap());
+        }
+        h.run_management_round();
+        assert!(
+            h.reserved_unused_bytes() >= h.shared.cfg.min_rsv / 2,
+            "reserve built: {}",
+            h.reserved_unused_bytes()
+        );
+        // Subsequent small allocations ride the fast path.
+        let before = h.counters();
+        for _ in 0..100 {
+            ptrs.push(h.allocate(layout(2048)).unwrap());
+        }
+        let after = h.counters();
+        assert_eq!(
+            after.slow_small, before.slow_small,
+            "no demand faults after reservation"
+        );
+        for p in ptrs {
+            // SAFETY: each pointer live exactly once.
+            unsafe { h.deallocate(p, layout(2048)) };
+        }
+    }
+
+    #[test]
+    fn manager_thread_runs_rounds() {
+        let h = HermesHeap::new(HermesHeapConfig::small()).unwrap();
+        h.start_manager();
+        assert!(h.manager_running());
+        for _ in 0..50 {
+            let p = h.allocate(layout(4096)).unwrap();
+            // SAFETY: p live.
+            unsafe { h.deallocate(p, layout(4096)) };
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        h.stop_manager();
+        assert!(!h.manager_running());
+        let c = h.counters();
+        assert!(c.manager_rounds >= 2, "rounds {}", c.manager_rounds);
+        assert!(c.reserved_bytes > 0);
+    }
+
+    #[test]
+    fn start_manager_is_idempotent() {
+        let h = HermesHeap::new(HermesHeapConfig::small()).unwrap();
+        h.start_manager();
+        h.start_manager();
+        h.stop_manager();
+        h.stop_manager();
+    }
+
+    #[test]
+    fn concurrent_allocation_with_manager() {
+        let h = Arc::new(HermesHeap::new(HermesHeapConfig::small()).unwrap());
+        h.start_manager();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    let mut live = Vec::new();
+                    for i in 0..500usize {
+                        let sz = 64 + (i * (t + 3)) % 3000;
+                        let lay = layout(sz);
+                        let p = h.allocate(lay).unwrap();
+                        // SAFETY: fresh allocation.
+                        unsafe { std::ptr::write_bytes(p.as_ptr(), t as u8, sz) };
+                        live.push((p, lay));
+                        if i % 2 == 0 {
+                            let (q, ql) = live.swap_remove(i % live.len());
+                            // SAFETY: removed from live set.
+                            unsafe { h.deallocate(q, ql) };
+                        }
+                    }
+                    for (p, l) in live {
+                        // SAFETY: still live.
+                        unsafe { h.deallocate(p, l) };
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        h.stop_manager();
+        let hs = h.heap_stats();
+        assert_eq!(hs.live, 0, "all freed");
+        lock(&h.shared.heap).raw.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn mmap_threshold_routes_paths() {
+        let h = HermesHeap::new(HermesHeapConfig::small()).unwrap();
+        let small = h.allocate(layout(127 * 1024)).unwrap();
+        let large = h.allocate(layout(128 * 1024)).unwrap();
+        let c = h.counters();
+        assert_eq!(c.fast_small + c.slow_small, 1);
+        assert_eq!(c.fast_large + c.slow_large, 1);
+        // SAFETY: both live.
+        unsafe {
+            h.deallocate(small, layout(127 * 1024));
+            h.deallocate(large, layout(128 * 1024));
+        }
+    }
+}

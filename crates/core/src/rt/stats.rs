@@ -1,0 +1,148 @@
+//! Lock-free counters for the real allocator (overhead reporting, §5.5).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters updated by allocation fast paths and the
+/// management thread.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Total allocations served.
+    pub alloc_count: AtomicU64,
+    /// Total frees.
+    pub free_count: AtomicU64,
+    /// Small (heap-path) allocations that required no demand fault.
+    pub fast_small: AtomicU64,
+    /// Small allocations that touched fresh pages (the slow path).
+    pub slow_small: AtomicU64,
+    /// Large allocations served from the pre-touched pool.
+    pub fast_large: AtomicU64,
+    /// Large allocations that carved cold memory.
+    pub slow_large: AtomicU64,
+    /// Management-thread rounds executed.
+    pub manager_rounds: AtomicU64,
+    /// Wall-clock nanoseconds the management thread spent working
+    /// (its CPU overhead; the paper reports ~0.4 %).
+    pub manager_busy_ns: AtomicU64,
+    /// Bytes reserved (mapping-constructed) by the management thread.
+    pub reserved_bytes: AtomicU64,
+    /// Bytes released by trims.
+    pub trimmed_bytes: AtomicU64,
+}
+
+/// A plain snapshot of [`Counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Total allocations served.
+    pub alloc_count: u64,
+    /// Total frees.
+    pub free_count: u64,
+    /// Fault-free small allocations.
+    pub fast_small: u64,
+    /// Small allocations that faulted.
+    pub slow_small: u64,
+    /// Pool-hit large allocations.
+    pub fast_large: u64,
+    /// Cold large allocations.
+    pub slow_large: u64,
+    /// Management rounds.
+    pub manager_rounds: u64,
+    /// Management busy time in nanoseconds.
+    pub manager_busy_ns: u64,
+    /// Bytes reserved ahead of demand.
+    pub reserved_bytes: u64,
+    /// Bytes trimmed back.
+    pub trimmed_bytes: u64,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Relaxed add helper.
+    #[inline]
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot (relaxed reads).
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            alloc_count: self.alloc_count.load(Ordering::Relaxed),
+            free_count: self.free_count.load(Ordering::Relaxed),
+            fast_small: self.fast_small.load(Ordering::Relaxed),
+            slow_small: self.slow_small.load(Ordering::Relaxed),
+            fast_large: self.fast_large.load(Ordering::Relaxed),
+            slow_large: self.slow_large.load(Ordering::Relaxed),
+            manager_rounds: self.manager_rounds.load(Ordering::Relaxed),
+            manager_busy_ns: self.manager_busy_ns.load(Ordering::Relaxed),
+            reserved_bytes: self.reserved_bytes.load(Ordering::Relaxed),
+            trimmed_bytes: self.trimmed_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CountersSnapshot {
+    /// Fraction of small allocations served without any page fault.
+    pub fn small_fast_ratio(&self) -> f64 {
+        let total = self.fast_small + self.slow_small;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_small as f64 / total as f64
+        }
+    }
+
+    /// Fraction of large allocations served from the pool.
+    pub fn large_fast_ratio(&self) -> f64 {
+        let total = self.fast_large + self.slow_large;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_large as f64 / total as f64
+        }
+    }
+
+    /// Management-thread CPU share over `elapsed_ns` of wall time.
+    pub fn manager_cpu_fraction(&self, elapsed_ns: u64) -> f64 {
+        if elapsed_ns == 0 {
+            0.0
+        } else {
+            self.manager_busy_ns as f64 / elapsed_ns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_adds() {
+        let c = Counters::new();
+        Counters::add(&c.alloc_count, 3);
+        Counters::add(&c.fast_small, 2);
+        Counters::add(&c.slow_small, 1);
+        let s = c.snapshot();
+        assert_eq!(s.alloc_count, 3);
+        assert!((s.small_fast_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios_handle_zero_totals() {
+        let s = CountersSnapshot::default();
+        assert_eq!(s.small_fast_ratio(), 0.0);
+        assert_eq!(s.large_fast_ratio(), 0.0);
+        assert_eq!(s.manager_cpu_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn cpu_fraction() {
+        let s = CountersSnapshot {
+            manager_busy_ns: 4,
+            ..Default::default()
+        };
+        assert!((s.manager_cpu_fraction(1000) - 0.004).abs() < 1e-12);
+    }
+}

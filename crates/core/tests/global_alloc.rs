@@ -1,0 +1,106 @@
+//! The headline credibility test: install Hermes as the *real*
+//! `#[global_allocator]` for this entire test binary. Every allocation the
+//! test harness, the standard library and the tests themselves make goes
+//! through the Hermes heap.
+
+use hermes_core::rt::Hermes;
+use std::collections::HashMap;
+
+#[global_allocator]
+static ALLOC: Hermes = Hermes;
+
+#[test]
+fn collections_work_through_hermes() {
+    let heap = Hermes::init();
+    let mut v: Vec<String> = Vec::new();
+    for i in 0..10_000 {
+        v.push(format!("value-{i}"));
+    }
+    assert_eq!(v.len(), 10_000);
+    assert!(v[9_999].ends_with("9999"));
+    let mut m: HashMap<u64, Vec<u8>> = HashMap::new();
+    for i in 0..2_000u64 {
+        m.insert(i, vec![(i & 0xff) as u8; (i as usize % 700) + 1]);
+    }
+    for i in 0..2_000u64 {
+        let val = &m[&i];
+        assert_eq!(val[0], (i & 0xff) as u8);
+    }
+    assert!(heap.counters().alloc_count > 0);
+}
+
+#[test]
+fn large_allocations_route_to_the_pool() {
+    Hermes::init();
+    let mut blocks: Vec<Vec<u8>> = Vec::new();
+    for i in 0..32 {
+        blocks.push(vec![i as u8; 300 * 1024]);
+    }
+    for (i, b) in blocks.iter().enumerate() {
+        assert_eq!(b[299 * 1024], i as u8);
+    }
+    drop(blocks);
+    let heap = Hermes::heap().expect("initialised");
+    let c = heap.counters();
+    assert!(c.fast_large + c.slow_large >= 32);
+}
+
+#[test]
+fn data_integrity_under_churn() {
+    Hermes::init();
+    // Interleaved allocation patterns with verification, catching any
+    // chunk overlap or header corruption.
+    let mut live: Vec<(Vec<u8>, u8)> = Vec::new();
+    for round in 0..50u8 {
+        for k in 0..40usize {
+            let size = 17 + (k * 97 + round as usize * 31) % 5_000;
+            live.push((vec![round ^ k as u8; size], round ^ k as u8));
+        }
+        if round % 2 == 0 {
+            // Free half, verifying contents first.
+            for _ in 0..live.len() / 2 {
+                let idx = (round as usize * 13) % live.len();
+                let (buf, tag) = live.swap_remove(idx);
+                assert!(buf.iter().all(|&b| b == tag), "corrupted buffer");
+            }
+        }
+    }
+    for (buf, tag) in live {
+        assert!(buf.iter().all(|&b| b == tag), "corrupted at teardown");
+    }
+}
+
+#[test]
+fn multithreaded_churn_through_global() {
+    Hermes::init();
+    let handles: Vec<_> = (0..4u8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut keep = Vec::new();
+                for i in 0..3_000usize {
+                    let size = 1 + (i * (t as usize + 7)) % 2_048;
+                    let buf = vec![t; size];
+                    if i % 3 == 0 {
+                        keep.push(buf);
+                    }
+                }
+                keep.iter().all(|b| b.iter().all(|&x| x == t))
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap(), "thread saw corrupted memory");
+    }
+}
+
+#[test]
+fn realloc_paths_via_vec_growth() {
+    Hermes::init();
+    let mut v: Vec<u64> = Vec::new();
+    for i in 0..200_000u64 {
+        v.push(i); // repeated grow/realloc through the allocator
+    }
+    assert_eq!(v[123_456], 123_456);
+    v.shrink_to_fit();
+    assert_eq!(v.iter().rev().next(), Some(&199_999));
+}

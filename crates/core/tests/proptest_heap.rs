@@ -1,0 +1,118 @@
+//! Property tests for the real allocator's heap and large pool: random
+//! alloc/free interleavings never corrupt structure, never hand out
+//! overlapping memory, and always respect alignment.
+
+use hermes_core::rt::{Arena, LargePool, RawHeap, PAGE};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { size: usize, align_pow: u8 },
+    Free { victim: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1usize..6_000, 4u8..9).prop_map(|(size, align_pow)| Op::Alloc { size, align_pow }),
+        2 => any::<usize>().prop_map(|victim| Op::Free { victim }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heap_random_ops_keep_invariants(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut heap = RawHeap::new(Arena::reserve(PAGE * 2048).unwrap());
+        let mut live: Vec<(std::ptr::NonNull<u8>, usize, u8)> = Vec::new();
+        let mut stamp = 0u8;
+        for op in ops {
+            match op {
+                Op::Alloc { size, align_pow } => {
+                    let align = 1usize << align_pow;
+                    if let Some(p) = heap.memalign(align, size) {
+                        prop_assert_eq!(p.as_ptr() as usize % align, 0);
+                        stamp = stamp.wrapping_add(1);
+                        // SAFETY: fresh allocation of `size` bytes.
+                        unsafe { std::ptr::write_bytes(p.as_ptr(), stamp, size) };
+                        // No overlap with any live allocation.
+                        let a0 = p.as_ptr() as usize;
+                        for &(q, qsize, _) in &live {
+                            let b0 = q.as_ptr() as usize;
+                            prop_assert!(
+                                a0 + size <= b0 || b0 + qsize <= a0,
+                                "overlap: [{a0:#x},{size}) vs [{b0:#x},{qsize})"
+                            );
+                        }
+                        live.push((p, size, stamp));
+                    }
+                }
+                Op::Free { victim } => {
+                    if !live.is_empty() {
+                        let idx = victim % live.len();
+                        let (p, size, tag) = live.swap_remove(idx);
+                        // Contents intact until the free.
+                        // SAFETY: p is live with `size` valid bytes.
+                        unsafe {
+                            for off in [0, size / 2, size - 1] {
+                                prop_assert_eq!(*p.as_ptr().add(off), tag);
+                            }
+                            heap.free(p);
+                        }
+                    }
+                }
+            }
+            heap.check_integrity().map_err(|e| {
+                TestCaseError::fail(format!("integrity: {e}"))
+            })?;
+        }
+        // Free everything; the heap must return to a clean state.
+        for (p, _, _) in live {
+            // SAFETY: still live.
+            unsafe { heap.free(p) };
+        }
+        heap.check_integrity().map_err(|e| TestCaseError::fail(format!("final: {e}")))?;
+        prop_assert_eq!(heap.stats().live, 0);
+        prop_assert_eq!(heap.stats().in_use, 0);
+    }
+
+    #[test]
+    fn large_pool_random_ops(sizes in prop::collection::vec(128usize*1024..1024*1024, 1..40),
+                             frees in prop::collection::vec(any::<usize>(), 0..40)) {
+        let mut pool = LargePool::new(Arena::reserve(256 << 20).unwrap(), 128 * 1024, 8);
+        let mut live = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            if let Some(p) = pool.alloc(size, PAGE) {
+                prop_assert_eq!(p.as_ptr() as usize % PAGE, 0);
+                // SAFETY: fresh allocation.
+                unsafe {
+                    *p.as_ptr() = i as u8;
+                    *p.as_ptr().add(size - 1) = i as u8;
+                }
+                live.push((p, size, i as u8));
+            }
+            if i % 5 == 4 {
+                pool.management_round(1 << 20, 2 << 20, 16 << 20, 256 * 1024);
+            }
+        }
+        for &f in &frees {
+            if live.is_empty() { break; }
+            let idx = f % live.len();
+            let (p, size, tag) = live.swap_remove(idx);
+            // SAFETY: p live, endpoints written at alloc time.
+            unsafe {
+                prop_assert_eq!(*p.as_ptr(), tag);
+                prop_assert_eq!(*p.as_ptr().add(size - 1), tag);
+                pool.free(p);
+            }
+        }
+        let live_count = live.len();
+        for (p, _, _) in live {
+            // SAFETY: still live.
+            unsafe { pool.free(p) };
+        }
+        let _ = live_count;
+        prop_assert_eq!(pool.stats().live, 0);
+        prop_assert_eq!(pool.stats().live_bytes, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # hermes-os — simulated GNU/Linux memory-management substrate
+//!
+//! The paper evaluates Hermes against the stock GNU/Linux stack on a
+//! 128 GB node with HDD swap. This crate reproduces the kernel-side
+//! mechanisms that determine allocation latency under memory pressure
+//! (§2.1 and §2.3 of the paper):
+//!
+//! * on-demand virtual-physical mapping construction (first-touch faults),
+//!   with `mlock` as the faster kernel-populated alternative;
+//! * `min`/`low`/`high` reclaim watermarks at roughly 1 ‰ of the zone;
+//! * kswapd background reclaim (file pages first, then anonymous pages
+//!   through a single-queue HDD swap device);
+//! * the synchronous direct-reclaim routine entered below the `min`
+//!   watermark;
+//! * a file cache that outlives processes and is dropped only under
+//!   pressure — or proactively via `posix_fadvise(DONTNEED)`, the hook
+//!   Hermes' monitor daemon uses.
+//!
+//! All operations run on a virtual clock ([`hermes_sim::time::SimTime`])
+//! and return the latency the calling thread would experience.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_os::prelude::*;
+//! use hermes_sim::time::SimTime;
+//!
+//! let mut os = Os::new(OsConfig::small_test_node());
+//! let svc = os.register_process(ProcKind::LatencyCritical);
+//! let lat = os.alloc_anon(svc, 64, FaultPath::HeapTouch, SimTime::ZERO)?;
+//! assert!(lat.as_nanos() > 0);
+//! # Ok::<(), hermes_os::types::MemError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+mod os;
+pub mod swap;
+pub mod types;
+
+pub use crate::os::{FileState, Os, OsStats, ProcState};
+
+/// The commonly used types in one import.
+pub mod prelude {
+    pub use crate::config::{pages_for, pages_to_bytes, OsConfig, PAGE_SIZE};
+    pub use crate::os::{Os, OsStats};
+    pub use crate::types::{FaultPath, FileId, MemError, ProcId, ProcKind};
+}

@@ -1,0 +1,114 @@
+//! Identifiers and error types shared across the OS model.
+
+use std::fmt;
+
+/// Identifier of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid#{}", self.0)
+    }
+}
+
+/// Identifier of a simulated file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// The co-location role of a process (the paper's admin classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcKind {
+    /// A latency-critical service (Redis, RocksDB, the micro benchmark).
+    LatencyCritical,
+    /// A best-effort batch job (Spark containers, pressure hogs).
+    Batch,
+    /// Anything else on the node.
+    System,
+}
+
+/// Which kernel path constructs the virtual-physical mapping, and at what
+/// per-page cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPath {
+    /// Demand-zero write fault on the main heap (brk) segment.
+    HeapTouch,
+    /// Demand-zero write fault on an anonymous mmap segment.
+    MmapTouch,
+    /// Kernel-populated mapping via `mlock` on the heap segment.
+    HeapMlock,
+    /// Kernel-populated mapping via `mlock` on an mmap segment.
+    MmapMlock,
+}
+
+impl FaultPath {
+    /// `true` for the `mlock`-delegated population paths.
+    pub fn is_mlock(self) -> bool {
+        matches!(self, FaultPath::HeapMlock | FaultPath::MmapMlock)
+    }
+
+    /// `true` for mmap-segment paths.
+    pub fn is_mmap(self) -> bool {
+        matches!(self, FaultPath::MmapTouch | FaultPath::MmapMlock)
+    }
+}
+
+/// Failure to satisfy a physical-memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Nothing left to reclaim: the kernel would OOM-kill.
+    OutOfMemory,
+    /// The swap area is full, so anonymous reclaim cannot proceed.
+    SwapFull,
+    /// The process is not registered with the OS model.
+    UnknownProcess,
+    /// The file is not registered with the OS model.
+    UnknownFile,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory => write!(f, "out of memory: nothing reclaimable"),
+            MemError::SwapFull => write!(f, "swap area exhausted"),
+            MemError::UnknownProcess => write!(f, "process not registered"),
+            MemError::UnknownFile => write!(f, "file not registered"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(ProcId(3).to_string(), "pid#3");
+        assert_eq!(FileId(9).to_string(), "file#9");
+        assert!(MemError::OutOfMemory.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn fault_path_predicates() {
+        assert!(FaultPath::HeapMlock.is_mlock());
+        assert!(FaultPath::MmapMlock.is_mlock());
+        assert!(!FaultPath::HeapTouch.is_mlock());
+        assert!(FaultPath::MmapTouch.is_mmap());
+        assert!(FaultPath::MmapMlock.is_mmap());
+        assert!(!FaultPath::HeapTouch.is_mmap());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the OS model: frame conservation across arbitrary
+//! operation sequences, watermark discipline, and reclaim sanity.
+
+use hermes_os::prelude::*;
+use hermes_sim::time::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum OsOp {
+    Alloc { pages: u64, mlock: bool },
+    Release { pages: u64 },
+    ReadFile { mb: usize },
+    Fadvise,
+    Advance { ms: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = OsOp> {
+    prop_oneof![
+        4 => (1u64..5_000, any::<bool>()).prop_map(|(pages, mlock)| OsOp::Alloc { pages, mlock }),
+        3 => (1u64..5_000).prop_map(|pages| OsOp::Release { pages }),
+        2 => (1usize..64).prop_map(|mb| OsOp::ReadFile { mb }),
+        1 => Just(OsOp::Fadvise),
+        2 => (1u64..2_000).prop_map(|ms| OsOp::Advance { ms }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn frames_are_conserved(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let total = os.config().total_pages();
+        let proc = os.register_process(ProcKind::LatencyCritical);
+        let batch = os.register_process(ProcKind::Batch);
+        let file = os.create_file(batch, 256 << 20).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut locked_alloced = 0u64;
+        let mut anon_alloced = 0u64;
+        for op in ops {
+            now = now + hermes_sim::time::SimDuration::from_micros(50);
+            match op {
+                OsOp::Alloc { pages, mlock } => {
+                    let path = if mlock { FaultPath::HeapMlock } else { FaultPath::HeapTouch };
+                    if os.alloc_anon(proc, pages, path, now).is_ok() {
+                        if mlock { locked_alloced += pages } else { anon_alloced += pages }
+                    }
+                }
+                OsOp::Release { pages } => {
+                    let take = pages.min(anon_alloced);
+                    os.release_anon(proc, take, false);
+                    anon_alloced -= take.min(anon_alloced);
+                }
+                OsOp::ReadFile { mb } => {
+                    let _ = os.read_file(file, mb << 20, now);
+                }
+                OsOp::Fadvise => {
+                    let _ = os.fadvise_dontneed(file, now);
+                }
+                OsOp::Advance { ms } => {
+                    now = now + hermes_sim::time::SimDuration::from_millis(ms);
+                    os.advance_to(now);
+                }
+            }
+            // Conservation: free + resident-anything <= total frames and
+            // the per-process ledger never exceeds what was granted.
+            let st = os.process(proc).unwrap();
+            prop_assert!(os.free_pages() <= total);
+            prop_assert!(st.anon_resident + st.locked + os.free_pages() <= total);
+            prop_assert!(st.locked <= locked_alloced);
+            // File cache never exceeds the file's size.
+            let f = os.file(file).unwrap();
+            prop_assert!(f.cached_pages <= f.size_pages);
+        }
+        // Tearing everything down restores all non-swapped frames.
+        os.remove_process(proc);
+        os.remove_process(batch);
+        let _ = os.fadvise_dontneed(file, now);
+        prop_assert!(os.free_pages() <= total);
+        prop_assert!(os.free_pages() >= total - 64, "free {} of {}", os.free_pages(), total);
+    }
+
+    #[test]
+    fn latencies_are_positive_and_pressure_is_monotone(
+        burn_frac in 0.05f64..0.95,
+    ) {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let hog = os.register_process(ProcKind::Batch);
+        let svc = os.register_process(ProcKind::LatencyCritical);
+        let burn = (os.free_pages() as f64 * burn_frac) as u64;
+        os.alloc_anon(hog, burn, FaultPath::HeapTouch, SimTime::ZERO).unwrap();
+        let lat = os
+            .alloc_anon(svc, 16, FaultPath::HeapTouch, SimTime::from_millis(5))
+            .unwrap();
+        prop_assert!(lat.as_nanos() > 0);
+        prop_assert!(os.used_fraction() > burn_frac * 0.9);
+        prop_assert!(os.service_contention() >= 1.0);
+        prop_assert!(os.write_contention() >= 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! # hermes-services — latency-critical service models
+//!
+//! The two real-world services of the paper's evaluation (§5.3):
+//!
+//! * [`RedisModel`] — in-memory KV store; every record lives in allocator
+//!   memory; clients arrive over loopback.
+//! * [`RocksdbModel`] — disk-based LSM store; inserts go through an
+//!   allocator-backed memtable arena and the WAL; flushes populate the
+//!   file cache.
+//!
+//! A *query* is one insertion followed by one read of the same record,
+//! with 1 KB ("small") or 200 KB ("large") values. Both services run over
+//! any [`hermes_allocators::SimAllocator`], so Hermes, Glibc, jemalloc and
+//! TCMalloc can be compared on identical workloads.
+
+#![warn(missing_docs)]
+
+pub mod redis;
+pub mod rocksdb;
+pub mod service;
+
+pub use redis::{RedisCosts, RedisModel};
+pub use rocksdb::{RocksdbCosts, RocksdbModel};
+pub use service::{QueryLatency, Service};
+
+use hermes_allocators::{build_allocator, AllocatorKind};
+use hermes_core::HermesConfig;
+use hermes_os::prelude::*;
+
+/// Which service model to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceKind {
+    /// The in-memory store.
+    Redis,
+    /// The disk-based LSM store.
+    Rocksdb,
+}
+
+impl ServiceKind {
+    /// Both services, in the paper's order.
+    pub const ALL: [ServiceKind; 2] = [ServiceKind::Redis, ServiceKind::Rocksdb];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceKind::Redis => "Redis",
+            ServiceKind::Rocksdb => "Rocksdb",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a service over a freshly registered allocator of `alloc_kind`.
+///
+/// # Errors
+///
+/// Propagates [`MemError`] from service setup (WAL creation).
+pub fn build_service(
+    service: ServiceKind,
+    alloc_kind: AllocatorKind,
+    os: &mut Os,
+    seed: u64,
+    cfg: &HermesConfig,
+) -> Result<Box<dyn Service>, MemError> {
+    let alloc = build_allocator(alloc_kind, os, seed, cfg);
+    Ok(match service {
+        ServiceKind::Redis => Box::new(RedisModel::new(alloc, seed)),
+        ServiceKind::Rocksdb => Box::new(RocksdbModel::new(alloc, seed, os)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_os::config::OsConfig;
+    use hermes_sim::time::SimTime;
+
+    #[test]
+    fn factory_builds_both_services() {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let cfg = HermesConfig::default();
+        for sk in ServiceKind::ALL {
+            let mut s = build_service(sk, AllocatorKind::Hermes, &mut os, 7, &cfg).unwrap();
+            assert_eq!(s.name(), sk.name());
+            let q = s.query(1024, SimTime::ZERO, &mut os).unwrap();
+            assert!(q.total().as_nanos() > 0);
+            assert!(s.stored_bytes() >= 1024);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Redis model: an in-memory key-value store where every record lives in
+//! allocator memory and clients talk over loopback (which is why its
+//! absolute query latencies are two orders of magnitude above RocksDB's
+//! embedded API — compare the SLOs in Figures 9 and 10).
+
+use crate::service::{QueryLatency, Service};
+use hermes_allocators::{AllocHandle, SimAllocator};
+use hermes_os::prelude::*;
+use hermes_sim::rng::DetRng;
+use hermes_sim::time::{SimDuration, SimTime};
+
+/// Cost constants of the Redis model.
+#[derive(Debug, Clone)]
+pub struct RedisCosts {
+    /// Loopback round trip per query (client + kernel network stack).
+    pub rtt: SimDuration,
+    /// Server-side per-byte handling (parse, copy, reply serialisation).
+    pub per_byte_ns: f64,
+    /// Hash-table lookup/insert bookkeeping.
+    pub lookup: SimDuration,
+    /// Size of the per-record metadata entry (dictEntry + robj).
+    pub entry_bytes: usize,
+    /// Jitter sigma on the RTT.
+    pub sigma: f64,
+}
+
+impl Default for RedisCosts {
+    fn default() -> Self {
+        RedisCosts {
+            rtt: SimDuration::from_micros(250),
+            per_byte_ns: 7.0,
+            lookup: SimDuration::from_nanos(700),
+            entry_bytes: 64,
+            sigma: 0.10,
+        }
+    }
+}
+
+/// The Redis service model.
+pub struct RedisModel {
+    alloc: Box<dyn SimAllocator>,
+    /// Stored records: value handle + size (entry handle folded in).
+    records: Vec<(AllocHandle, usize)>,
+    stored: usize,
+    costs: RedisCosts,
+    rng: DetRng,
+}
+
+impl std::fmt::Debug for RedisModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RedisModel")
+            .field("records", &self.records.len())
+            .field("stored", &self.stored)
+            .finish()
+    }
+}
+
+impl RedisModel {
+    /// Creates the service over the given allocator.
+    pub fn new(alloc: Box<dyn SimAllocator>, seed: u64) -> Self {
+        RedisModel {
+            alloc,
+            records: Vec::new(),
+            stored: 0,
+            costs: RedisCosts::default(),
+            rng: DetRng::new(seed, "redis"),
+        }
+    }
+
+    fn copy_cost(&mut self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos((bytes as f64 * self.costs.per_byte_ns) as u64)
+    }
+}
+
+impl Service for RedisModel {
+    fn name(&self) -> &'static str {
+        "Redis"
+    }
+
+    fn query(
+        &mut self,
+        value_bytes: usize,
+        now: SimTime,
+        os: &mut Os,
+    ) -> Result<QueryLatency, MemError> {
+        self.alloc.advance_to(now, os);
+        let contention = os.service_contention();
+        let rtt = self
+            .costs
+            .rtt
+            .mul_f64(self.rng.tail_multiplier(self.costs.sigma) * contention);
+        // ---- insert: allocate the entry metadata and the value ----
+        let mut insert = rtt / 2 + self.costs.lookup;
+        let (_, entry_lat) = self.alloc.malloc(self.costs.entry_bytes, now, os)?;
+        insert += entry_lat;
+        let t_val = now + insert;
+        let (h, val_lat) = self.alloc.malloc(value_bytes, t_val, os)?;
+        insert += val_lat;
+        insert += self.copy_cost(value_bytes).mul_f64(contention);
+        self.records.push((h, value_bytes));
+        self.stored += value_bytes;
+        // ---- read the record back ----
+        let t_read = now + insert;
+        let mut read = rtt / 2 + self.costs.lookup;
+        read += self.alloc.access(h, value_bytes, t_read, os);
+        read += self.copy_cost(value_bytes).mul_f64(contention);
+        Ok(QueryLatency { insert, read })
+    }
+
+    fn delete_one(&mut self, now: SimTime, os: &mut Os) -> SimDuration {
+        if self.records.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let idx = self.rng.index(self.records.len());
+        let (h, size) = self.records.swap_remove(idx);
+        self.stored -= size;
+        self.costs.lookup + self.alloc.free(h, now, os)
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.stored
+    }
+
+    fn advance_to(&mut self, now: SimTime, os: &mut Os) {
+        self.alloc.advance_to(now, os);
+    }
+
+    fn allocator(&self) -> &dyn SimAllocator {
+        self.alloc.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_allocators::{build_allocator, AllocatorKind};
+    use hermes_core::HermesConfig;
+    use hermes_os::config::OsConfig;
+
+    fn redis(kind: AllocatorKind) -> (Os, RedisModel) {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let alloc = build_allocator(kind, &mut os, 5, &HermesConfig::default());
+        (os, RedisModel::new(alloc, 5))
+    }
+
+    #[test]
+    fn small_query_latency_is_rtt_dominated() {
+        let (mut os, mut r) = redis(AllocatorKind::Glibc);
+        let mut now = SimTime::ZERO;
+        let mut lats = Vec::new();
+        for _ in 0..200 {
+            let q = r.query(1024, now, &mut os).unwrap();
+            lats.push(q.total().as_micros());
+            now += q.total() + SimDuration::from_micros(5);
+        }
+        lats.sort_unstable();
+        let p90 = lats[lats.len() * 9 / 10];
+        assert!((200..600).contains(&p90), "p90 {p90}us near the paper's 330us SLO scale");
+    }
+
+    #[test]
+    fn large_query_latency_in_millisecond_range() {
+        let (mut os, mut r) = redis(AllocatorKind::Glibc);
+        let mut now = SimTime::ZERO;
+        let mut lats = Vec::new();
+        for _ in 0..50 {
+            let q = r.query(200 * 1024, now, &mut os).unwrap();
+            lats.push(q.total().as_micros());
+            now += q.total() + SimDuration::from_micros(20);
+        }
+        lats.sort_unstable();
+        let p90 = lats[lats.len() * 9 / 10];
+        assert!(
+            (1_000..8_000).contains(&p90),
+            "p90 {p90}us near the paper's 4326us SLO scale"
+        );
+    }
+
+    #[test]
+    fn stored_bytes_track_inserts_and_deletes() {
+        let (mut os, mut r) = redis(AllocatorKind::Glibc);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            let q = r.query(1024, now, &mut os).unwrap();
+            now += q.total();
+        }
+        assert_eq!(r.stored_bytes(), 10 * 1024);
+        r.delete_one(now, &mut os);
+        assert_eq!(r.stored_bytes(), 9 * 1024);
+        assert_eq!(r.name(), "Redis");
+    }
+
+    #[test]
+    fn works_with_every_allocator() {
+        for kind in AllocatorKind::ALL {
+            let (mut os, mut r) = redis(kind);
+            let q = r.query(2048, SimTime::ZERO, &mut os).unwrap();
+            assert!(q.total() > SimDuration::ZERO, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! RocksDB model: a disk-based LSM key-value store. Inserts write into an
+//! allocator-backed memtable arena and append to the WAL; full memtables
+//! flush to SST files (populating the file cache); reads hit the memtable
+//! or the SSTs through the page cache.
+//!
+//! This is the service whose §2.2 case study motivates the paper: the
+//! insertion (allocation) side dominates query latency (Figure 2), and
+//! the memtable arena's churn of ≥128 KB blocks is exactly the mmap-path
+//! pattern Hermes' segregated pool accelerates.
+
+use crate::service::{QueryLatency, Service};
+use hermes_allocators::{AllocHandle, SimAllocator};
+use hermes_os::prelude::*;
+use hermes_sim::rng::DetRng;
+use hermes_sim::time::{SimDuration, SimTime};
+
+/// Cost constants of the RocksDB model.
+#[derive(Debug, Clone)]
+pub struct RocksdbCosts {
+    /// Per-byte memtable copy + key encoding.
+    pub per_byte_ns: f64,
+    /// Skiplist insert / point lookup bookkeeping.
+    pub lookup: SimDuration,
+    /// Arena block size (allocated through the mmap path).
+    pub arena_block: usize,
+    /// Memtable capacity before a flush.
+    pub memtable_cap: usize,
+    /// Foreground stall when a flush is scheduled (the flush itself is a
+    /// background job).
+    pub flush_stall: SimDuration,
+    /// Maximum SST files before the oldest is compacted away.
+    pub max_ssts: usize,
+    /// Jitter sigma.
+    pub sigma: f64,
+}
+
+impl Default for RocksdbCosts {
+    fn default() -> Self {
+        RocksdbCosts {
+            per_byte_ns: 1.3,
+            lookup: SimDuration::from_nanos(900),
+            arena_block: 256 * 1024,
+            memtable_cap: 64 << 20,
+            flush_stall: SimDuration::from_micros(40),
+            max_ssts: 24,
+            sigma: 0.18,
+        }
+    }
+}
+
+/// The RocksDB service model.
+pub struct RocksdbModel {
+    alloc: Box<dyn SimAllocator>,
+    costs: RocksdbCosts,
+    wal: FileId,
+    ssts: Vec<FileId>,
+    /// Live arena blocks backing the current memtable.
+    arena_blocks: Vec<AllocHandle>,
+    arena_left: usize,
+    memtable_bytes: usize,
+    stored: usize,
+    rng: DetRng,
+}
+
+impl std::fmt::Debug for RocksdbModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RocksdbModel")
+            .field("memtable_bytes", &self.memtable_bytes)
+            .field("ssts", &self.ssts.len())
+            .field("stored", &self.stored)
+            .finish()
+    }
+}
+
+impl RocksdbModel {
+    /// Creates the store; registers its WAL with the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] if the WAL cannot be created.
+    pub fn new(alloc: Box<dyn SimAllocator>, seed: u64, os: &mut Os) -> Result<Self, MemError> {
+        let wal = os.create_file(alloc.proc_id(), 0).map(Ok).unwrap_or_else(Err)?;
+        Ok(RocksdbModel {
+            alloc,
+            costs: RocksdbCosts::default(),
+            wal,
+            ssts: Vec::new(),
+            arena_blocks: Vec::new(),
+            arena_left: 0,
+            memtable_bytes: 0,
+            stored: 0,
+            rng: DetRng::new(seed, "rocksdb"),
+        })
+    }
+
+    fn copy_cost(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos((bytes as f64 * self.costs.per_byte_ns) as u64)
+    }
+
+    fn flush(&mut self, now: SimTime, os: &mut Os) -> SimDuration {
+        // Background flush: SST written to the file cache, memtable arena
+        // released. Only a small scheduling stall hits the foreground.
+        if let Ok(sst) = os.create_file(self.alloc.proc_id(), 0) {
+            let _ = os.write_file(sst, self.memtable_bytes, now);
+            self.ssts.push(sst);
+        }
+        for h in self.arena_blocks.drain(..) {
+            self.alloc.free(h, now, os);
+        }
+        self.arena_left = 0;
+        self.memtable_bytes = 0;
+        while self.ssts.len() > self.costs.max_ssts {
+            let victim = self.ssts.remove(0);
+            os.delete_file(victim);
+        }
+        self.costs.flush_stall
+    }
+}
+
+impl Service for RocksdbModel {
+    fn name(&self) -> &'static str {
+        "Rocksdb"
+    }
+
+    fn query(
+        &mut self,
+        value_bytes: usize,
+        now: SimTime,
+        os: &mut Os,
+    ) -> Result<QueryLatency, MemError> {
+        self.alloc.advance_to(now, os);
+        let contention = os.service_contention();
+        let jitter = self.rng.tail_multiplier(self.costs.sigma);
+        // ---- insert ----
+        let mut insert = self.costs.lookup.mul_f64(jitter * contention);
+        // Every insert allocates a skiplist node + key slice (small path).
+        let (node, node_lat) = self.alloc.malloc(48 + 24, now, os)?;
+        self.arena_blocks.push(node);
+        insert += node_lat;
+        if self.arena_left < value_bytes {
+            // New arena block through the allocator (mmap path for the
+            // default 256 KB block — the Figure 2 hot spot).
+            let block = self.costs.arena_block.max(value_bytes);
+            let (h, lat) = self.alloc.malloc(block, now, os)?;
+            insert += lat;
+            self.arena_blocks.push(h);
+            self.arena_left = block;
+        }
+        self.arena_left -= value_bytes;
+        insert += self.copy_cost(value_bytes).mul_f64(contention);
+        // WAL append.
+        insert += os.write_file(self.wal, value_bytes, now + insert)?;
+        self.memtable_bytes += value_bytes;
+        self.stored += value_bytes;
+        if self.memtable_bytes >= self.costs.memtable_cap {
+            insert += self.flush(now + insert, os);
+        }
+        // ---- read ----
+        let t_read = now + insert;
+        let mut read = self.costs.lookup.mul_f64(self.rng.tail_multiplier(self.costs.sigma));
+        let memtable_frac = if self.stored == 0 {
+            1.0
+        } else {
+            self.memtable_bytes as f64 / self.stored as f64
+        };
+        if self.rng.unit() < memtable_frac || self.ssts.is_empty() {
+            // Memtable hit: touch the arena memory (swap-in risk under
+            // pressure).
+            if let Some(&h) = self.arena_blocks.last() {
+                read += self.alloc.access(h, value_bytes, t_read, os);
+            }
+            read += self.copy_cost(value_bytes.min(16 * 1024));
+        } else {
+            let idx = self.rng.index(self.ssts.len());
+            read += os.read_file(self.ssts[idx], value_bytes, t_read)?;
+            read += self.copy_cost(value_bytes.min(16 * 1024));
+        }
+        Ok(QueryLatency { insert, read })
+    }
+
+    fn delete_one(&mut self, now: SimTime, os: &mut Os) -> SimDuration {
+        // Tombstone write: tiny memtable insert.
+        let _ = (now, os);
+        self.stored = self.stored.saturating_sub(1024);
+        self.costs.lookup
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.stored
+    }
+
+    fn advance_to(&mut self, now: SimTime, os: &mut Os) {
+        self.alloc.advance_to(now, os);
+    }
+
+    fn allocator(&self) -> &dyn SimAllocator {
+        self.alloc.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_allocators::{build_allocator, AllocatorKind};
+    use hermes_core::HermesConfig;
+    use hermes_os::config::OsConfig;
+
+    fn rocks(kind: AllocatorKind) -> (Os, RocksdbModel) {
+        let mut os = Os::new(OsConfig::small_test_node());
+        let alloc = build_allocator(kind, &mut os, 6, &HermesConfig::default());
+        let r = RocksdbModel::new(alloc, 6, &mut os).unwrap();
+        (os, r)
+    }
+
+    #[test]
+    fn small_queries_are_tens_of_microseconds() {
+        let (mut os, mut r) = rocks(AllocatorKind::Glibc);
+        let mut now = SimTime::ZERO;
+        let mut lats = Vec::new();
+        for _ in 0..500 {
+            let q = r.query(1024, now, &mut os).unwrap();
+            lats.push(q.total().as_nanos());
+            now += q.total() + SimDuration::from_micros(2);
+        }
+        lats.sort_unstable();
+        let p90 = lats[lats.len() * 9 / 10] / 1000;
+        assert!((3..60).contains(&p90), "p90 {p90}us near the paper's 17.6us scale");
+    }
+
+    #[test]
+    fn insert_dominates_query_latency() {
+        // The Figure 2 observation: allocation-heavy insertion is the
+        // bulk of the query, especially for large records.
+        let (mut os, mut r) = rocks(AllocatorKind::Glibc);
+        let mut now = SimTime::ZERO;
+        let mut small_share = Vec::new();
+        for _ in 0..300 {
+            let q = r.query(1024, now, &mut os).unwrap();
+            small_share.push(q.insert_share());
+            now += q.total();
+        }
+        let avg_small: f64 = small_share.iter().sum::<f64>() / small_share.len() as f64;
+        let (mut os2, mut r2) = rocks(AllocatorKind::Glibc);
+        let mut now2 = SimTime::ZERO;
+        let mut large_share = Vec::new();
+        for _ in 0..100 {
+            let q = r2.query(200 * 1024, now2, &mut os2).unwrap();
+            large_share.push(q.insert_share());
+            now2 += q.total();
+        }
+        let avg_large: f64 = large_share.iter().sum::<f64>() / large_share.len() as f64;
+        assert!(avg_small > 50.0, "small insert share {avg_small:.1}%");
+        assert!(avg_large > 80.0, "large insert share {avg_large:.1}%");
+        assert!(avg_large > avg_small, "large more insert-dominated");
+    }
+
+    #[test]
+    fn memtable_flushes_to_sst() {
+        let (mut os, mut r) = rocks(AllocatorKind::Glibc);
+        // Shrink the memtable so the test flushes quickly.
+        r.costs.memtable_cap = 1 << 20;
+        let mut now = SimTime::ZERO;
+        for _ in 0..30 {
+            let q = r.query(64 * 1024, now, &mut os).unwrap();
+            now += q.total();
+        }
+        assert!(!r.ssts.is_empty(), "flush created SSTs");
+        assert_eq!(r.memtable_bytes < (1 << 20), true);
+        assert!(os.file_cached_pages() > 0, "SSTs populate the file cache");
+    }
+
+    #[test]
+    fn compaction_caps_sst_count() {
+        let (mut os, mut r) = rocks(AllocatorKind::Glibc);
+        r.costs.memtable_cap = 256 * 1024;
+        r.costs.max_ssts = 3;
+        let mut now = SimTime::ZERO;
+        for _ in 0..60 {
+            let q = r.query(64 * 1024, now, &mut os).unwrap();
+            now += q.total();
+        }
+        assert!(r.ssts.len() <= 3);
+    }
+
+    #[test]
+    fn works_with_every_allocator() {
+        for kind in AllocatorKind::ALL {
+            let (mut os, mut r) = rocks(kind);
+            let q = r.query(200 * 1024, SimTime::ZERO, &mut os).unwrap();
+            assert!(q.total() > SimDuration::ZERO, "{kind}");
+        }
+    }
+}

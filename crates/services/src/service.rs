@@ -1,0 +1,80 @@
+//! The latency-critical-service interface used by the experiment drivers.
+
+use hermes_allocators::SimAllocator;
+use hermes_os::prelude::*;
+use hermes_sim::time::{SimDuration, SimTime};
+
+/// Latency of one query, split the way Figure 2 reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryLatency {
+    /// The data-insertion part (includes memory allocation).
+    pub insert: SimDuration,
+    /// The read part.
+    pub read: SimDuration,
+}
+
+impl QueryLatency {
+    /// End-to-end query latency.
+    pub fn total(&self) -> SimDuration {
+        self.insert + self.read
+    }
+
+    /// Insert share of the total, in percent (Figure 2's metric).
+    pub fn insert_share(&self) -> f64 {
+        let t = self.total().as_nanos();
+        if t == 0 {
+            0.0
+        } else {
+            self.insert.as_nanos() as f64 / t as f64 * 100.0
+        }
+    }
+}
+
+/// A latency-critical key-value service under test.
+///
+/// One *query* is the paper's unit of §5.3: a data insertion followed by a
+/// read of the inserted record.
+pub trait Service {
+    /// Service name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs one insert+read query with a record of `value_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] on allocation failure.
+    fn query(
+        &mut self,
+        value_bytes: usize,
+        now: SimTime,
+        os: &mut Os,
+    ) -> Result<QueryLatency, MemError>;
+
+    /// Deletes one stored record (workload churn). Returns its latency.
+    fn delete_one(&mut self, now: SimTime, os: &mut Os) -> SimDuration;
+
+    /// Bytes of user data currently stored.
+    fn stored_bytes(&self) -> usize;
+
+    /// Fast-forwards service background work to `now`.
+    fn advance_to(&mut self, now: SimTime, os: &mut Os);
+
+    /// The underlying allocator (for overhead inspection).
+    fn allocator(&self) -> &dyn SimAllocator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_latency_math() {
+        let q = QueryLatency {
+            insert: SimDuration::from_micros(75),
+            read: SimDuration::from_micros(25),
+        };
+        assert_eq!(q.total(), SimDuration::from_micros(100));
+        assert!((q.insert_share() - 75.0).abs() < 1e-9);
+        assert_eq!(QueryLatency::default().insert_share(), 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Report rendering: fixed-width tables, CDF dumps and CSV output.
+//!
+//! Each figure harness prints a human-readable table ("the same rows/series
+//! the paper reports") and optionally writes the full series as CSV under
+//! `results/` for plotting.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_sim::report::Table;
+//!
+//! let mut t = Table::new(["allocator", "avg", "p99"]);
+//! t.row(["Hermes", "3.1us", "8.2us"]);
+//! t.row(["Glibc", "3.8us", "10.4us"]);
+//! let s = t.render();
+//! assert!(s.contains("Hermes"));
+//! ```
+
+use crate::stats::Summary;
+use crate::time::SimDuration;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<const N: usize>(header: [&str; N]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a table from a dynamic header row.
+    pub fn from_header(header: Vec<String>) -> Self {
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; the cell count should match the header.
+    pub fn row<const N: usize>(&mut self, cells: [&str; N]) -> &mut Self {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends one row from owned strings.
+    pub fn row_vec(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = width[i].max(h.len());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, w) in width.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<w$}  ");
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = width.iter().sum::<usize>() + 2 * width.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            fmt_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a duration in the unit the paper uses for a given figure.
+pub fn fmt_us(d: SimDuration) -> String {
+    format!("{:.1}", d.as_nanos() as f64 / 1e3)
+}
+
+/// Formats a duration in nanoseconds.
+pub fn fmt_ns(d: SimDuration) -> String {
+    format!("{}", d.as_nanos())
+}
+
+/// Formats a duration in milliseconds with 2 decimals.
+pub fn fmt_ms(d: SimDuration) -> String {
+    format!("{:.2}", d.as_nanos() as f64 / 1e6)
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+/// Builds the standard summary row `[name, avg, p75, p90, p95, p99]` in µs.
+pub fn summary_row_us(name: &str, s: &Summary) -> Vec<String> {
+    vec![
+        name.to_string(),
+        fmt_us(s.avg),
+        fmt_us(s.p75),
+        fmt_us(s.p90),
+        fmt_us(s.p95),
+        fmt_us(s.p99),
+    ]
+}
+
+/// Writes `(x, y)` CDF series for several named series into one CSV file:
+/// columns `series,latency_ns,cdf`.
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation or the write.
+pub fn write_cdf_csv(
+    path: impl AsRef<Path>,
+    series: &[(&str, Vec<(SimDuration, f64)>)],
+) -> io::Result<()> {
+    let mut t = Table::from_header(vec![
+        "series".to_string(),
+        "latency_ns".to_string(),
+        "cdf".to_string(),
+    ]);
+    for (name, pts) in series {
+        for (lat, q) in pts {
+            t.row_vec(vec![name.to_string(), fmt_ns(*lat), format!("{q:.4}")]);
+        }
+    }
+    t.write_csv(path)
+}
+
+/// A side-by-side "paper vs measured" check line used by every harness.
+///
+/// `direction` documents the qualitative expectation, e.g. "Hermes < Glibc".
+pub fn check_line(label: &str, paper: &str, measured: &str, holds: bool) -> String {
+    format!(
+        "  [{}] {label}: paper={paper} measured={measured}",
+        if holds { "ok" } else { "!!" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::LatencyRecorder;
+
+    #[test]
+    fn table_alignment_and_rows() {
+        let mut t = Table::new(["a", "long-header", "c"]);
+        t.row(["x", "y", "z"]);
+        t.row(["wider-cell", "y", "z"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].starts_with("x"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["has,comma", "plain"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("hermes_sim_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        t.write_csv(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duration_formatters() {
+        assert_eq!(fmt_us(SimDuration::from_micros(12)), "12.0");
+        assert_eq!(fmt_ns(SimDuration::from_nanos(7)), "7");
+        assert_eq!(fmt_ms(SimDuration::from_millis(3)), "3.00");
+        assert_eq!(fmt_pct(12.34), "12.3%");
+    }
+
+    #[test]
+    fn summary_row_has_six_cells() {
+        let mut r = LatencyRecorder::new("x");
+        r.record(SimDuration::from_micros(5));
+        let row = summary_row_us("x", &r.summary());
+        assert_eq!(row.len(), 6);
+        assert_eq!(row[0], "x");
+    }
+
+    #[test]
+    fn check_line_marks_failures() {
+        assert!(check_line("l", "1", "2", true).contains("[ok]"));
+        assert!(check_line("l", "1", "2", false).contains("[!!]"));
+    }
+
+    #[test]
+    fn cdf_csv_round_trip() {
+        let dir = std::env::temp_dir().join("hermes_sim_cdf_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("cdf.csv");
+        let series = vec![(
+            "glibc",
+            vec![
+                (SimDuration::from_nanos(100), 0.5),
+                (SimDuration::from_nanos(200), 1.0),
+            ],
+        )];
+        write_cdf_csv(&path, &series).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("glibc,100,0.5000"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,415 @@
+//! Latency statistics: recorders, percentiles, CDFs and paper-style summaries.
+//!
+//! Every experiment records per-request latencies into a [`LatencyRecorder`]
+//! and summarises them at the percentiles the paper reports
+//! (avg / p75 / p90 / p95 / p99). CDF extraction mirrors the paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_sim::stats::LatencyRecorder;
+//! use hermes_sim::time::SimDuration;
+//!
+//! let mut rec = LatencyRecorder::new("demo");
+//! for us in 1..=100 {
+//!     rec.record(SimDuration::from_micros(us));
+//! }
+//! assert_eq!(rec.percentile(0.50).as_micros(), 50);
+//! assert_eq!(rec.summary().p99.as_micros(), 99);
+//! ```
+
+use crate::time::SimDuration;
+use serde::Serialize;
+use std::fmt;
+
+/// The percentiles the paper reports, as `(label, quantile)` pairs.
+pub const PAPER_PERCENTILES: [(&str, f64); 5] = [
+    ("avg.", f64::NAN), // average, handled specially
+    ("p75", 0.75),
+    ("p90", 0.90),
+    ("p95", 0.95),
+    ("p99", 0.99),
+];
+
+/// Collects latency samples for one experiment series.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    name: String,
+    samples_ns: Vec<u64>,
+    sorted: bool,
+}
+
+/// Five-number summary matching the paper's reporting style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub avg: SimDuration,
+    /// 50th percentile.
+    pub p50: SimDuration,
+    /// 75th percentile.
+    pub p75: SimDuration,
+    /// 90th percentile.
+    pub p90: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// Maximum observed latency.
+    pub max: SimDuration,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl serde::Serialize for SimDuration {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(self.as_nanos())
+    }
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder with a series name used in reports.
+    pub fn new(name: impl Into<String>) -> Self {
+        LatencyRecorder {
+            name: name.into(),
+            samples_ns: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples_ns.push(latency.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// Arithmetic mean of all samples (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.samples_ns.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.samples_ns.iter().map(|&v| v as u128).sum();
+        SimDuration::from_nanos((total / self.samples_ns.len() as u128) as u64)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) using nearest-rank interpolation.
+    ///
+    /// Returns zero for an empty recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples_ns.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let n = self.samples_ns.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        SimDuration::from_nanos(self.samples_ns[rank - 1])
+    }
+
+    /// Maximum sample (zero if empty).
+    pub fn max(&mut self) -> SimDuration {
+        if self.samples_ns.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        SimDuration::from_nanos(*self.samples_ns.last().unwrap())
+    }
+
+    /// Computes the paper-style summary.
+    pub fn summary(&mut self) -> Summary {
+        Summary {
+            avg: self.mean(),
+            p50: self.percentile(0.50),
+            p75: self.percentile(0.75),
+            p90: self.percentile(0.90),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            max: self.max(),
+            count: self.len(),
+        }
+    }
+
+    /// Extracts `points` evenly spaced CDF points as `(latency, fraction)`.
+    ///
+    /// Matches the CDF plots in the paper (Figures 3, 7, 8, 11, 12). For a
+    /// zoomed tail CDF pass e.g. `from = 0.90`.
+    pub fn cdf(&mut self, points: usize, from: f64) -> Vec<(SimDuration, f64)> {
+        if self.samples_ns.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples_ns.len();
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points {
+            let q = from + (1.0 - from) * (i as f64 + 1.0) / points as f64;
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            out.push((SimDuration::from_nanos(self.samples_ns[rank - 1]), q));
+        }
+        out
+    }
+
+    /// Fraction of samples strictly greater than `threshold`.
+    ///
+    /// This is the SLO-violation ratio used in Figures 13 and 14.
+    pub fn violation_ratio(&self, threshold: SimDuration) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let t = threshold.as_nanos();
+        let violating = self.samples_ns.iter().filter(|&&v| v > t).count();
+        violating as f64 / self.samples_ns.len() as f64
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.sorted = false;
+    }
+
+    /// Raw samples in nanoseconds (unsorted order not guaranteed).
+    pub fn samples_ns(&self) -> &[u64] {
+        &self.samples_ns
+    }
+}
+
+impl Summary {
+    /// Percentage reduction of `self` relative to `baseline` at each
+    /// percentile: positive numbers mean `self` is faster.
+    ///
+    /// This is the metric in Figures 7(d), 8(d), 15 and 16.
+    pub fn reduction_vs(&self, baseline: &Summary) -> Reduction {
+        fn red(ours: SimDuration, base: SimDuration) -> f64 {
+            if base.is_zero() {
+                return 0.0;
+            }
+            (1.0 - ours.as_nanos() as f64 / base.as_nanos() as f64) * 100.0
+        }
+        Reduction {
+            avg: red(self.avg, baseline.avg),
+            p75: red(self.p75, baseline.p75),
+            p90: red(self.p90, baseline.p90),
+            p95: red(self.p95, baseline.p95),
+            p99: red(self.p99, baseline.p99),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "avg={} p50={} p75={} p90={} p95={} p99={} max={} (n={})",
+            self.avg, self.p50, self.p75, self.p90, self.p95, self.p99, self.max, self.count
+        )
+    }
+}
+
+/// Percentage reduction at the paper's percentiles (positive = faster).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Reduction {
+    /// Reduction of the mean, in percent.
+    pub avg: f64,
+    /// Reduction at p75, in percent.
+    pub p75: f64,
+    /// Reduction at p90, in percent.
+    pub p90: f64,
+    /// Reduction at p95, in percent.
+    pub p95: f64,
+    /// Reduction at p99, in percent.
+    pub p99: f64,
+}
+
+impl fmt::Display for Reduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "avg={:+.1}% p75={:+.1}% p90={:+.1}% p95={:+.1}% p99={:+.1}%",
+            self.avg, self.p75, self.p90, self.p95, self.p99
+        )
+    }
+}
+
+/// Online mean/max accumulator for cheap metrics (no sample storage).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, d: SimDuration) {
+        self.count += 1;
+        self.sum_ns += d.as_nanos() as u128;
+        self.max_ns = self.max_ns.max(d.as_nanos());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean observation (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_nanos(self.sum_ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec_1_to_100() -> LatencyRecorder {
+        let mut r = LatencyRecorder::new("t");
+        // Insert in reverse to exercise sorting.
+        for us in (1..=100u64).rev() {
+            r.record(SimDuration::from_micros(us));
+        }
+        r
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut r = rec_1_to_100();
+        assert_eq!(r.percentile(0.01).as_micros(), 1);
+        assert_eq!(r.percentile(0.50).as_micros(), 50);
+        assert_eq!(r.percentile(0.90).as_micros(), 90);
+        assert_eq!(r.percentile(0.99).as_micros(), 99);
+        assert_eq!(r.percentile(1.0).as_micros(), 100);
+        assert_eq!(r.percentile(0.0).as_micros(), 1);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut r = rec_1_to_100();
+        assert_eq!(r.mean().as_micros(), 50); // (1+..+100)/100 = 50.5 -> trunc 50
+        assert_eq!(r.max().as_micros(), 100);
+    }
+
+    #[test]
+    fn empty_recorder_is_safe() {
+        let mut r = LatencyRecorder::new("e");
+        assert!(r.is_empty());
+        assert_eq!(r.percentile(0.9), SimDuration::ZERO);
+        assert_eq!(r.mean(), SimDuration::ZERO);
+        assert_eq!(r.summary().count, 0);
+        assert!(r.cdf(10, 0.0).is_empty());
+        assert_eq!(r.violation_ratio(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotonic_and_spans() {
+        let mut r = rec_1_to_100();
+        let cdf = r.cdf(20, 0.0);
+        assert_eq!(cdf.len(), 20);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().0.as_micros(), 100);
+    }
+
+    #[test]
+    fn tail_cdf_starts_at_from() {
+        let mut r = rec_1_to_100();
+        let cdf = r.cdf(10, 0.90);
+        assert!(cdf[0].1 > 0.90);
+        assert!(cdf[0].0.as_micros() >= 90);
+    }
+
+    #[test]
+    fn violation_ratio_counts_strictly_greater() {
+        let r = rec_1_to_100();
+        assert!((r.violation_ratio(SimDuration::from_micros(90)) - 0.10).abs() < 1e-9);
+        assert_eq!(r.violation_ratio(SimDuration::from_micros(100)), 0.0);
+        assert_eq!(r.violation_ratio(SimDuration::ZERO), 1.0);
+    }
+
+    #[test]
+    fn reduction_math() {
+        let mut fast = LatencyRecorder::new("fast");
+        let mut slow = LatencyRecorder::new("slow");
+        for _ in 0..100 {
+            fast.record(SimDuration::from_micros(50));
+            slow.record(SimDuration::from_micros(100));
+        }
+        let red = fast.summary().reduction_vs(&slow.summary());
+        assert!((red.avg - 50.0).abs() < 1e-9);
+        assert!((red.p99 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_reduction_when_slower() {
+        let mut fast = LatencyRecorder::new("f");
+        let mut slow = LatencyRecorder::new("s");
+        fast.record(SimDuration::from_micros(100));
+        slow.record(SimDuration::from_micros(50));
+        let red = fast.summary().reduction_vs(&slow.summary());
+        assert!(red.avg < 0.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = rec_1_to_100();
+        let b = rec_1_to_100();
+        a.merge(&b);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a.percentile(1.0).as_micros(), 100);
+    }
+
+    #[test]
+    fn online_stats_tracks_mean_max() {
+        let mut s = OnlineStats::new();
+        s.push(SimDuration::from_nanos(10));
+        s.push(SimDuration::from_nanos(30));
+        assert_eq!(s.mean().as_nanos(), 20);
+        assert_eq!(s.max().as_nanos(), 30);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.total().as_nanos(), 40);
+    }
+}

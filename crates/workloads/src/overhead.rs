@@ -1,0 +1,66 @@
+//! Hermes overhead accounting (§5.5): management-thread CPU share,
+//! reserved-but-unused memory, and monitor-daemon footprint.
+
+use crate::micro::{run_micro, MicroConfig, Scenario};
+use hermes_allocators::AllocatorKind;
+use hermes_sim::time::SimDuration;
+
+/// Overhead metrics of one Hermes run.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadReport {
+    /// Management-thread busy share of the run (paper: ≈0.4 % over the
+    /// application lifetime; higher during allocation-dense phases).
+    pub management_cpu_pct: f64,
+    /// Reserved-but-unused memory at the end (paper: ~6–6.4 MB).
+    pub reserved_unused_bytes: usize,
+    /// Daemon busy share (paper: ≈2.4 % of one core).
+    pub daemon_cpu_pct: f64,
+    /// Virtual duration of the measured run.
+    pub wall: SimDuration,
+}
+
+/// Measures Hermes overhead on the micro benchmark, including an idle
+/// tail so the management share reflects a service lifetime rather than
+/// only the allocation burst.
+pub fn measure_overhead(request_size: usize, total_bytes: usize, seed: u64) -> OverheadReport {
+    let cfg = MicroConfig {
+        seed,
+        ..MicroConfig::paper(AllocatorKind::Hermes, Scenario::Dedicated, request_size)
+            .scaled(total_bytes)
+    };
+    let r = run_micro(&cfg);
+    // The paper measures overhead across the service lifetime; the
+    // allocation burst above is followed by long idle periods, modelled
+    // here as a 60 s window.
+    let lifetime = r.wall.max(SimDuration::from_secs(60));
+    OverheadReport {
+        management_cpu_pct: r.management_busy.as_nanos() as f64 / lifetime.as_nanos() as f64
+            * 100.0,
+        reserved_unused_bytes: r.reserved_unused,
+        daemon_cpu_pct: r.daemon_busy.as_nanos() as f64 / lifetime.as_nanos() as f64 * 100.0,
+        wall: r.wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_small() {
+        let o = measure_overhead(1024, 16 << 20, 5);
+        assert!(
+            o.management_cpu_pct < 5.0,
+            "management {:.2}%",
+            o.management_cpu_pct
+        );
+        // §5.5 scale: a few MB of standing reserve, not hundreds.
+        assert!(
+            o.reserved_unused_bytes < 64 << 20,
+            "reserved {}",
+            o.reserved_unused_bytes
+        );
+        assert!(o.reserved_unused_bytes > 0);
+        assert!(o.daemon_cpu_pct < 5.0);
+    }
+}

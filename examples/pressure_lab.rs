@@ -1,0 +1,39 @@
+//! Pressure laboratory: reproduce the paper's §2.2 case study on the
+//! simulated node — how anonymous-page and file-cache pressure prolong
+//! Glibc allocation latency, and what each Hermes ingredient buys back.
+//!
+//! Run with: `cargo run --release --example pressure_lab`
+
+use hermes::allocators::AllocatorKind;
+use hermes::sim::report::{summary_row_us, Table};
+use hermes::workloads::{run_micro, MicroConfig, Scenario};
+
+fn main() {
+    println!("Micro benchmark: 1 KB requests, 96 MiB total, simulated 128 GB node\n");
+    let total = 96 << 20;
+
+    let mut table = Table::new(["series", "avg(us)", "p75", "p90", "p95", "p99"]);
+    for scenario in Scenario::ALL {
+        for kind in [AllocatorKind::Glibc, AllocatorKind::Hermes] {
+            let cfg = MicroConfig::paper(kind, scenario, 1024).scaled(total);
+            let mut r = run_micro(&cfg);
+            table.row_vec(summary_row_us(
+                &format!("{}/{}", kind.name(), scenario.name()),
+                &r.latencies.summary(),
+            ));
+        }
+    }
+    // The "Hermes w/o rec" variant shows what proactive reclamation adds.
+    let mut norec = MicroConfig::paper(AllocatorKind::Hermes, Scenario::FilePressure, 1024)
+        .scaled(total);
+    norec.daemon = false;
+    let mut r = run_micro(&norec);
+    table.row_vec(summary_row_us("Hermes w/o rec/file", &r.latencies.summary()));
+    print!("{}", table.render());
+
+    println!("\nReading the table:");
+    println!("  * anon pressure hurts Glibc the most (reclaim must swap);");
+    println!("  * file pressure is milder (clean cache drops cheaply);");
+    println!("  * Hermes' advance reservation flattens both, and proactive");
+    println!("    reclamation recovers the remaining file-pressure penalty.");
+}

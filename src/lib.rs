@@ -1,0 +1,29 @@
+//! # hermes — facade crate for the Hermes reproduction
+//!
+//! Reproduction of *"Memory at Your Service: Fast Memory Allocation for
+//! Latency-critical Services"* (Middleware'21). This crate re-exports the
+//! workspace members under one roof so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`core`] — the paper's contribution: reservation policy, the real
+//!   [`core::rt`] allocator (implements `GlobalAlloc`), and the memory
+//!   monitor daemon.
+//! * [`os`] — simulated GNU/Linux memory-management substrate.
+//! * [`allocators`] — simulated Glibc / jemalloc / TCMalloc / Hermes models.
+//! * [`services`] — Redis-like and RocksDB-like latency-critical services.
+//! * [`batch`] — best-effort batch jobs and memory-pressure generators.
+//! * [`workloads`] — the paper's experiments as reusable drivers.
+//! * [`sim`] — virtual-time engine, stats and reporting.
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure and table.
+
+#![warn(missing_docs)]
+
+pub use hermes_allocators as allocators;
+pub use hermes_batch as batch;
+pub use hermes_core as core;
+pub use hermes_os as os;
+pub use hermes_services as services;
+pub use hermes_sim as sim;
+pub use hermes_workloads as workloads;

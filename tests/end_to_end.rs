@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: end-to-end scenario runs with fixed
+//! seeds asserting the paper's qualitative shapes.
+
+use hermes::allocators::AllocatorKind;
+use hermes::services::ServiceKind;
+use hermes::workloads::{
+    run_colocation, run_micro, run_throughput, ColocationConfig, MicroConfig, Scenario, Slo,
+    ThroughputConfig, ThroughputScenario,
+};
+use hermes_sim::time::SimDuration;
+
+const MICRO_TOTAL: usize = 48 << 20;
+
+fn micro_summary(kind: AllocatorKind, sc: Scenario, size: usize) -> hermes::sim::stats::Summary {
+    let cfg = MicroConfig::paper(kind, sc, size).scaled(MICRO_TOTAL);
+    let mut r = run_micro(&cfg);
+    r.latencies.summary()
+}
+
+#[test]
+fn figure3_shape_pressure_ordering() {
+    let ded = micro_summary(AllocatorKind::Glibc, Scenario::Dedicated, 1024);
+    let anon = micro_summary(AllocatorKind::Glibc, Scenario::AnonPressure, 1024);
+    let file = micro_summary(AllocatorKind::Glibc, Scenario::FilePressure, 1024);
+    assert!(anon.avg > file.avg, "anon {} > file {}", anon.avg, file.avg);
+    assert!(file.avg > ded.avg, "file {} > ded {}", file.avg, ded.avg);
+    assert!(anon.p99 > ded.p99);
+}
+
+#[test]
+fn figure7_shape_hermes_wins_small_requests() {
+    for sc in Scenario::ALL {
+        let h = micro_summary(AllocatorKind::Hermes, sc, 1024);
+        let g = micro_summary(AllocatorKind::Glibc, sc, 1024);
+        assert!(h.avg < g.avg, "{sc}: hermes {} < glibc {}", h.avg, g.avg);
+        assert!(h.p99 < g.p99, "{sc}: hermes p99 {} < glibc {}", h.p99, g.p99);
+    }
+}
+
+#[test]
+fn figure7_shape_tcmalloc_low_avg_long_tail() {
+    let t = micro_summary(AllocatorKind::Tcmalloc, Scenario::Dedicated, 1024);
+    let g = micro_summary(AllocatorKind::Glibc, Scenario::Dedicated, 1024);
+    assert!(t.avg < g.avg, "tcmalloc avg {} < glibc {}", t.avg, g.avg);
+    assert!(t.p99 > g.p99, "tcmalloc p99 {} > glibc {}", t.p99, g.p99);
+}
+
+#[test]
+fn figure8_shape_large_requests_anon_gap_is_biggest() {
+    let red = |sc| {
+        let h = micro_summary(AllocatorKind::Hermes, sc, 256 * 1024);
+        let g = micro_summary(AllocatorKind::Glibc, sc, 256 * 1024);
+        h.reduction_vs(&g).avg
+    };
+    let ded = red(Scenario::Dedicated);
+    let anon = red(Scenario::AnonPressure);
+    assert!(anon > ded, "anon reduction {anon:.1}% > dedicated {ded:.1}%");
+    assert!(anon > 25.0, "anon reduction substantial: {anon:.1}%");
+}
+
+#[test]
+fn figure12_shape_rocksdb_under_full_pressure() {
+    let run = |kind| {
+        let mut cfg = ColocationConfig::paper(ServiceKind::Rocksdb, kind, 200 * 1024, 1.0);
+        cfg.queries = 400;
+        let mut r = run_colocation(&cfg);
+        r.totals.summary()
+    };
+    let h = run(AllocatorKind::Hermes);
+    let g = run(AllocatorKind::Glibc);
+    assert!(h.p90 < g.p90, "hermes p90 {} < glibc {}", h.p90, g.p90);
+    assert!(h.p99 <= g.p99, "hermes p99 {} <= glibc {}", h.p99, g.p99);
+}
+
+#[test]
+fn figure13_shape_slo_violations_ordering() {
+    let run = |kind, level| {
+        let mut cfg = ColocationConfig::paper(ServiceKind::Redis, kind, 1024, level);
+        cfg.queries = 1_500;
+        run_colocation(&cfg)
+    };
+    let mut baseline = run(AllocatorKind::Glibc, 0.0);
+    let slo = Slo::from_baseline(&mut baseline.totals);
+    let hermes = slo.violation_pct(&run(AllocatorKind::Hermes, 1.25).totals);
+    let glibc = slo.violation_pct(&run(AllocatorKind::Glibc, 1.25).totals);
+    assert!(
+        hermes <= glibc + 1.0,
+        "hermes violations {hermes:.1}% <= glibc {glibc:.1}%"
+    );
+}
+
+#[test]
+fn table1_shape_throughput_ordering() {
+    let run = |scenario| {
+        run_throughput(&ThroughputConfig {
+            service: ServiceKind::Rocksdb,
+            scenario,
+            duration: SimDuration::from_secs(1800),
+            seed: 11,
+        })
+    };
+    let default = run(ThroughputScenario::Default);
+    let killing = run(ThroughputScenario::Killing);
+    let dedicated = run(ThroughputScenario::Dedicated);
+    assert!(default.jobs_completed > 0, "co-location makes progress");
+    assert!(killing.jobs_completed <= default.jobs_completed);
+    assert_eq!(dedicated.jobs_completed, 0);
+}
+
+#[test]
+fn determinism_across_crates() {
+    let cfg = ColocationConfig::paper(ServiceKind::Redis, AllocatorKind::Hermes, 1024, 0.75);
+    let mut cfg = cfg;
+    cfg.queries = 500;
+    let a = run_colocation(&cfg);
+    let b = run_colocation(&cfg);
+    assert_eq!(
+        a.totals.samples_ns(),
+        b.totals.samples_ns(),
+        "same seed, same trace"
+    );
+}
