@@ -14,7 +14,7 @@ fn main() {
     let mut checks = Checks::new();
     let total = micro_small_total() / 2;
     let mut t = Table::new(["variant", "avg(us)", "p75", "p90", "p95", "p99"]);
-    let mut run = |gradual: bool| {
+    let run = |gradual: bool| {
         let mut cfg = MicroConfig::paper(AllocatorKind::Hermes, Scenario::AnonPressure, 1024)
             .scaled(total);
         cfg.hermes = HermesConfig {
@@ -44,7 +44,6 @@ fn main() {
         &format!("gradual max {} vs bulk max {}", gradual.max, bulk.max),
         gradual.max.as_nanos() * 3 <= bulk.max.as_nanos(),
     );
-    let _ = (gradual_p999, bulk_p999);
     let _ = t.write_csv(hermes_bench::results_dir().join("ablation_gradual.csv"));
     checks.finish();
 }

@@ -12,7 +12,7 @@ fn main() {
     let mut checks = Checks::new();
     // Mixed large sizes force over-sized pool hand-outs; the micro driver
     // uses a fixed size, so alternate two sizes via two runs and merge.
-    let mut run = |delayed: bool, size: usize| {
+    let run = |delayed: bool, size: usize| {
         let mut cfg = MicroConfig::paper(AllocatorKind::Hermes, Scenario::Dedicated, size)
             .scaled(512 << 20);
         cfg.hermes = HermesConfig {

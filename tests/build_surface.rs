@@ -1,0 +1,53 @@
+//! Smoke test for the build surface: every allocator and service kind
+//! must be constructible through the public factories, so a manifest or
+//! feature regression fails here in tier-1 instead of only at bench time.
+
+use hermes::allocators::{build_allocator, AllocatorKind};
+use hermes::core::HermesConfig;
+use hermes::os::prelude::*;
+use hermes::services::{build_service, ServiceKind};
+use hermes::sim::time::SimTime;
+
+#[test]
+fn every_allocator_kind_builds_and_allocates() {
+    let mut os = Os::new(OsConfig::small_test_node());
+    let cfg = HermesConfig::default();
+    for kind in AllocatorKind::ALL {
+        let mut alloc = build_allocator(kind, &mut os, 1, &cfg);
+        assert_eq!(alloc.kind(), kind, "factory built the requested kind");
+        let (handle, latency) = alloc
+            .malloc(4096, SimTime::ZERO, &mut os)
+            .unwrap_or_else(|e| panic!("{kind:?}: malloc failed: {e:?}"));
+        assert!(latency.as_nanos() > 0, "{kind:?}: latency must be positive");
+        alloc.free(handle, SimTime::from_micros(1), &mut os);
+    }
+}
+
+#[test]
+fn every_service_kind_builds_over_every_allocator() {
+    let cfg = HermesConfig::default();
+    for service in ServiceKind::ALL {
+        for kind in AllocatorKind::ALL {
+            let mut os = Os::new(OsConfig::small_test_node());
+            let mut svc = build_service(service, kind, &mut os, 2, &cfg)
+                .unwrap_or_else(|e| panic!("{service}/{kind:?}: build failed: {e:?}"));
+            assert_eq!(svc.name(), service.name());
+            let q = svc
+                .query(1024, SimTime::ZERO, &mut os)
+                .unwrap_or_else(|e| panic!("{service}/{kind:?}: query failed: {e:?}"));
+            assert!(q.total().as_nanos() > 0);
+        }
+    }
+}
+
+#[test]
+fn facade_reexports_are_wired() {
+    // One symbol per re-exported member crate, so a facade manifest
+    // regression (missing dependency edge) is caught at compile time.
+    let _ = hermes::core::DEFAULT_MMAP_THRESHOLD;
+    let _ = hermes::sim::time::SimDuration::from_nanos(1);
+    let _ = hermes::batch::DEFAULT_FREE_FLOOR;
+    let _ = hermes::workloads::PRESSURE_LEVELS;
+    let _ = AllocatorKind::ALL;
+    let _ = ServiceKind::ALL;
+}

@@ -1,0 +1,188 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! Offers the `criterion_group!` / `criterion_main!` macros, benchmark
+//! groups and `Bencher::iter` / `iter_batched`. Measurement is a simple
+//! warm-up plus timed samples printed as mean ns/iter — adequate for the
+//! workspace's wall-clock comparisons, without upstream's statistics or
+//! report generation.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized (accepted for API compatibility;
+/// the stub always runs per-iteration batches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI arguments for compatibility (`cargo bench` passes
+    /// `--bench`); the stub ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Default sample count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named group sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let id = format!("{}/{id}", self.name);
+        run_bench(&id, samples, self.criterion.measurement_time, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up & calibration: find an iteration count that runs long
+    // enough to time accurately, then split the budget into samples.
+    f(&mut b);
+    let per_iter = (b.elapsed.as_nanos().max(1) / b.iters.max(1) as u128).max(1);
+    let budget_iters = (budget.as_nanos() / per_iter).max(1);
+    let iters_per_sample = (budget_iters / samples.max(1) as u128).clamp(1, u64::MAX as u128) as u64;
+
+    let mut means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.iters = iters_per_sample;
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        means.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    means.sort_by(|a, x| a.partial_cmp(x).unwrap());
+    let median = means[means.len() / 2];
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    println!("{id}: mean {mean:.1} ns/iter, median {median:.1} ns/iter ({samples} samples x {iters_per_sample} iters)");
+}
+
+/// Passed to the closure given to `bench_function`; runs the routine the
+/// requested number of iterations and records elapsed wall time.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-iteration inputs from `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,41 @@
+//! Vendored, dependency-free subset of the `crossbeam` API.
+//!
+//! Only `crossbeam::channel`'s bounded MPSC shape is used in this
+//! workspace (a one-shot shutdown signal to the management thread), which
+//! `std::sync::mpsc`'s sync channel covers exactly.
+
+pub mod channel {
+    //! Bounded channels with timeout-aware receive.
+
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, TrySendError};
+
+    /// Sending half of a bounded channel.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = bounded(1);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Small, fast generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small-state, fast, non-cryptographic generator (xoshiro256++).
+///
+/// Upstream `rand`'s `SmallRng` is also xoshiro-family on 64-bit targets;
+/// the exact stream differs, which is fine — the workspace only relies on
+/// determinism for a given seed, never on a specific upstream stream.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            s = [
+                0x9e37_79b9_7f4a_7c15,
+                0xbf58_476d_1ce4_e5b9,
+                0x94d0_49bb_1331_11eb,
+                0xfe9b_5742_d281_3be9,
+            ];
+        }
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::from_seed([7; 32]);
+        let mut b = SmallRng::from_seed([7; 32]);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_escaped() {
+        let mut r = SmallRng::from_seed([0; 32]);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!((10..20u64).contains(&r.gen_range(10u64..20)));
+            assert!((0..7usize).contains(&r.gen_range(0usize..7)));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! `#[derive(Serialize)]` for the vendored serde stub.
+//!
+//! Hand-rolled token walking instead of `syn`/`quote` (neither is
+//! available offline). Supports the shapes the workspace actually
+//! derives on: non-generic structs with named fields.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting one `serialize_field` call per
+/// named field.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, fields) = match parse_named_struct(&tokens) {
+        Some(parsed) => parsed,
+        None => {
+            return "compile_error!(\"vendored serde_derive supports only \
+                    non-generic structs with named fields\");"
+                .parse()
+                .unwrap()
+        }
+    };
+
+    let mut body = String::new();
+    for field in &fields {
+        body.push_str(&format!(
+            "::serde::SerializeStruct::serialize_field(&mut __st, \"{field}\", &self.{field})?;\n"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __s: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 let mut __st = ::serde::Serializer::serialize_struct(__s, \"{name}\", {len})?;\n\
+                 {body}\
+                 ::serde::SerializeStruct::end(__st)\n\
+             }}\n\
+         }}",
+        len = fields.len(),
+    );
+    out.parse().unwrap()
+}
+
+/// Returns `(struct_name, field_names)` for a named-field struct.
+fn parse_named_struct(tokens: &[TokenTree]) -> Option<(String, Vec<String>)> {
+    let mut iter = tokens.iter().peekable();
+    // Skip attributes and visibility, find `struct <Name>`.
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            if id.to_string() == "struct" {
+                let name = match iter.next()? {
+                    TokenTree::Ident(n) => n.to_string(),
+                    _ => return None,
+                };
+                // Generic structs are out of scope for the stub.
+                let group = loop {
+                    match iter.next()? {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g,
+                        TokenTree::Punct(p) if p.as_char() == '<' => return None,
+                        _ => {}
+                    }
+                };
+                return Some((name, parse_field_names(group.stream())));
+            }
+        }
+    }
+    None
+}
+
+/// Extracts field identifiers from a brace group's token stream: each is
+/// the identifier immediately preceding a top-level `:` (angle-bracket
+/// depth tracked so generic type arguments do not confuse the scan).
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    // Set after the first `:` of a `::` path separator so neither colon of
+    // a path in type position (e.g. `std::ptr::NonNull`) ends a field name.
+    let mut in_path_sep = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if in_path_sep => in_path_sep = false,
+                ':' if p.spacing() == Spacing::Joint => {
+                    in_path_sep = true;
+                    last_ident = None;
+                }
+                ':' if angle_depth == 0 => {
+                    if let Some(name) = last_ident.take() {
+                        fields.push(name);
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if angle_depth == 0 && s != "pub" {
+                    last_ident = Some(s);
+                } else {
+                    last_ident = None;
+                }
+            }
+            _ => last_ident = None,
+        }
+    }
+    fields
+}
