@@ -203,6 +203,10 @@ mod tests {
         let mut d = MonitorDaemonSim::new(&HermesConfig::default());
         d.advance_to(SimTime::from_secs(1), &mut os);
         assert!(os.file(lc_file).unwrap().cached_pages > 0, "LC file kept");
-        assert_eq!(os.file(batch_file).unwrap().cached_pages, 0, "batch file dropped");
+        assert_eq!(
+            os.file(batch_file).unwrap().cached_pages,
+            0,
+            "batch file dropped"
+        );
     }
 }

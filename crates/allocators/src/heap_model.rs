@@ -200,7 +200,10 @@ mod tests {
         assert_eq!(h.reserve_ready(), 64 * 1024);
         for _ in 0..60 {
             match h.alloc_small(1024) {
-                SmallAlloc::Fresh { new_pages, grew_break } => {
+                SmallAlloc::Fresh {
+                    new_pages,
+                    grew_break,
+                } => {
                     assert_eq!(new_pages, 0, "reserved memory never faults");
                     assert!(!grew_break, "break already extended");
                 }
@@ -230,7 +233,10 @@ mod tests {
         assert_eq!(h.brk_bytes(), PAGE_SIZE);
         // Next small alloc fits in the top chunk.
         match h.alloc_small(100) {
-            SmallAlloc::Fresh { grew_break, new_pages } => {
+            SmallAlloc::Fresh {
+                grew_break,
+                new_pages,
+            } => {
                 assert!(!grew_break);
                 assert_eq!(new_pages, 0);
             }

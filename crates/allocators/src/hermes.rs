@@ -313,12 +313,7 @@ impl HermesSim {
                     os.munlock(self.proc, pages_for(chunk.size));
                     lat += self.costs.munlock;
                 }
-                lat += os.alloc_anon(
-                    self.proc,
-                    pages_for(extra),
-                    FaultPath::MmapTouch,
-                    now,
-                )?;
+                lat += os.alloc_anon(self.proc, pages_for(extra), FaultPath::MmapTouch, now)?;
                 Ok((lat, (chunk.id, need)))
             }
             PoolHit::Miss => {
@@ -541,7 +536,7 @@ mod tests {
         now += SimDuration::from_millis(10);
         a.advance_to(now, &mut os);
         let (_, _lat) = a.malloc(200 * 1024, now, &mut os).unwrap();
-        if a.shrink.len() > 0 {
+        if !a.shrink.is_empty() {
             let pending = a.shrink.len();
             a.advance_to(now + SimDuration::from_millis(5), &mut os);
             assert_eq!(a.shrink.len(), 0, "{pending} shrink entries processed");

@@ -250,7 +250,9 @@ mod tests {
         let (mut os, mut a) = setup();
         let (h, cold) = a.malloc(512 * 1024, SimTime::ZERO, &mut os).unwrap();
         a.free(h, SimTime::from_micros(1), &mut os);
-        let (_, warm) = a.malloc(512 * 1024, SimTime::from_micros(2), &mut os).unwrap();
+        let (_, warm) = a
+            .malloc(512 * 1024, SimTime::from_micros(2), &mut os)
+            .unwrap();
         assert!(warm < cold, "warm {warm} vs cold {cold}");
     }
 

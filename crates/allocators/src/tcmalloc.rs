@@ -96,10 +96,7 @@ impl SimAllocator for TcmallocSim {
             let cached = self.cache.entry(class).or_insert(0);
             if *cached > 0 {
                 *cached -= 1;
-                lat = self
-                    .costs
-                    .cache_hit
-                    .mul_f64(self.rng.tail_multiplier(0.15));
+                lat = self.costs.cache_hit.mul_f64(self.rng.tail_multiplier(0.15));
                 lat += os.touch_resident(self.proc, 1, now);
             } else {
                 // Refill from the central free list under its lock.

@@ -82,8 +82,13 @@ pub trait SimAllocator {
 
     /// Touches `bytes` of a live allocation (data access by the service);
     /// may stall on swap-in under pressure.
-    fn access(&mut self, handle: AllocHandle, bytes: usize, now: SimTime, os: &mut Os)
-        -> SimDuration;
+    fn access(
+        &mut self,
+        handle: AllocHandle,
+        bytes: usize,
+        now: SimTime,
+        os: &mut Os,
+    ) -> SimDuration;
 
     /// Reserved-but-unused bytes (Hermes overhead metric, §5.5); zero for
     /// the baselines.

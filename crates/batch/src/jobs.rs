@@ -83,9 +83,9 @@ impl BatchLoad {
     ) -> Result<Self, MemError> {
         let total_containers = spec.containers * concurrent_jobs;
         let mut spec = spec;
-        if total_containers > 0 {
-            let logical_total = (os.config().total_ram as f64 * pressure_level) as usize;
-            spec.mem_per_container = logical_total / total_containers;
+        let logical_total = (os.config().total_ram as f64 * pressure_level) as usize;
+        if let Some(per_container) = logical_total.checked_div(total_containers) {
+            spec.mem_per_container = per_container;
         }
         let mut containers = Vec::new();
         for _ in 0..total_containers {
@@ -355,10 +355,12 @@ mod tests {
     fn progress_slows_under_pressure() {
         // Same spec, low vs high pressure: low finishes more.
         let mut os_lo = Os::new(OsConfig::small_test_node());
-        let mut lo = BatchLoad::new(&mut os_lo, small_spec(), BatchPolicy::Default, 2, 0.3, 2).unwrap();
+        let mut lo =
+            BatchLoad::new(&mut os_lo, small_spec(), BatchPolicy::Default, 2, 0.3, 2).unwrap();
         lo.advance_to(SimTime::from_secs(240), &mut os_lo);
         let mut os_hi = Os::new(OsConfig::small_test_node());
-        let mut hi = BatchLoad::new(&mut os_hi, small_spec(), BatchPolicy::Default, 2, 1.6, 2).unwrap();
+        let mut hi =
+            BatchLoad::new(&mut os_hi, small_spec(), BatchPolicy::Default, 2, 1.6, 2).unwrap();
         hi.advance_to(SimTime::from_secs(240), &mut os_hi);
         assert!(
             hi.completed_jobs() <= lo.completed_jobs(),

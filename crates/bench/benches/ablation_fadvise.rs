@@ -39,10 +39,16 @@ fn main() {
         calls_smallest += 1;
     }
     let mut t = Table::new(["order", "advise calls", "released (GB)"]);
-    t.row(["largest-first", &largest.victims.len().to_string(),
-           &format!("{:.1}", largest.projected_release as f64 / GB as f64)]);
-    t.row(["smallest-first", &calls_smallest.to_string(),
-           &format!("{:.1}", freed as f64 / GB as f64)]);
+    t.row([
+        "largest-first",
+        &largest.victims.len().to_string(),
+        &format!("{:.1}", largest.projected_release as f64 / GB as f64),
+    ]);
+    t.row([
+        "smallest-first",
+        &calls_smallest.to_string(),
+        &format!("{:.1}", freed as f64 / GB as f64),
+    ]);
     print!("{}", t.render());
     checks.check(
         "largest-first needs fewer advising calls",
@@ -53,9 +59,15 @@ fn main() {
     checks.check(
         "largest-first frees big chunks at once",
         "large chunk available at once",
-        &format!("first victim {:.1} GB",
-            files[largest.victims[0] as usize].cached_bytes as f64 / GB as f64),
-        files.iter().find(|f| f.file == largest.victims[0]).unwrap().cached_bytes
+        &format!(
+            "first victim {:.1} GB",
+            files[largest.victims[0] as usize].cached_bytes as f64 / GB as f64
+        ),
+        files
+            .iter()
+            .find(|f| f.file == largest.victims[0])
+            .unwrap()
+            .cached_bytes
             >= files.iter().map(|f| f.cached_bytes).max().unwrap(),
     );
     let _ = t.write_csv(hermes_bench::results_dir().join("ablation_fadvise.csv"));

@@ -15,8 +15,8 @@ fn main() {
     let total = micro_small_total() / 2;
     let mut t = Table::new(["variant", "avg(us)", "p75", "p90", "p95", "p99"]);
     let run = |gradual: bool| {
-        let mut cfg = MicroConfig::paper(AllocatorKind::Hermes, Scenario::AnonPressure, 1024)
-            .scaled(total);
+        let mut cfg =
+            MicroConfig::paper(AllocatorKind::Hermes, Scenario::AnonPressure, 1024).scaled(total);
         cfg.hermes = HermesConfig {
             gradual_reservation: gradual,
             ..HermesConfig::default()

@@ -12,8 +12,7 @@ fn main() {
     let total = micro_small_total() / 2;
     let mut t = Table::new(["variant", "avg(us)", "p75", "p90", "p95", "p99"]);
     let run = |daemon: bool, kind: AllocatorKind| {
-        let mut cfg =
-            MicroConfig::paper(kind, Scenario::FilePressure, 1024).scaled(total);
+        let mut cfg = MicroConfig::paper(kind, Scenario::FilePressure, 1024).scaled(total);
         cfg.daemon = daemon && kind == AllocatorKind::Hermes;
         let mut r = run_micro(&cfg);
         (r.latencies.summary(), r.os_stats)

@@ -13,8 +13,8 @@ fn main() {
     // Mixed large sizes force over-sized pool hand-outs; the micro driver
     // uses a fixed size, so alternate two sizes via two runs and merge.
     let run = |delayed: bool, size: usize| {
-        let mut cfg = MicroConfig::paper(AllocatorKind::Hermes, Scenario::Dedicated, size)
-            .scaled(512 << 20);
+        let mut cfg =
+            MicroConfig::paper(AllocatorKind::Hermes, Scenario::Dedicated, size).scaled(512 << 20);
         cfg.hermes = HermesConfig {
             delayed_shrink: delayed,
             ..HermesConfig::default()

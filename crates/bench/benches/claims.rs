@@ -1,11 +1,11 @@
 //! Point claims from the paper's text: mlock vs zero-fill speed (§4) and
 //! the allocation-latency floors (§1: "as low as 4us small / 1ms large").
 
+use hermes_allocators::AllocatorKind;
 use hermes_bench::{header, Checks};
 use hermes_os::prelude::*;
 use hermes_sim::time::SimTime;
 use hermes_workloads::{run_micro, MicroConfig, Scenario};
-use hermes_allocators::AllocatorKind;
 
 fn main() {
     header("Text claims", "mlock speedup and latency floors");
@@ -48,8 +48,7 @@ fn main() {
     // §1: "The allocation latency is as low as 4us for small requests and
     // 1ms for large requests" (Hermes, under pressure).
     let mut small = run_micro(
-        &MicroConfig::paper(AllocatorKind::Hermes, Scenario::AnonPressure, 1024)
-            .scaled(96 << 20),
+        &MicroConfig::paper(AllocatorKind::Hermes, Scenario::AnonPressure, 1024).scaled(96 << 20),
     );
     let mut large = run_micro(
         &MicroConfig::paper(AllocatorKind::Hermes, Scenario::AnonPressure, 256 * 1024)

@@ -1,0 +1,267 @@
+//! Contention: allocation scaling of the sharded runtime.
+//!
+//! Sweeps 1/2/4/8 threads × {1 arena, 4 arenas} over one `HermesHeap`
+//! and reports allocation throughput (Mops/s) and per-op p50/p99 latency.
+//! The single-arena column is the paper's prototype shape (one heap, one
+//! lock); the multi-arena column is the sharded runtime with thread→arena
+//! affinity and try-lock stealing. The shape claim: at 4+ threads the
+//! multi-arena configuration's throughput is strictly above single-arena.
+
+use hermes_bench::{full_scale, header, results_dir, Checks};
+use hermes_core::rt::{HermesHeap, HermesHeapConfig};
+use std::alloc::Layout;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Multi-arena shard count under test (acceptance target: >= 4).
+const MULTI_ARENAS: usize = 4;
+/// Bound on each thread's live set, so the heap footprint stays small
+/// and frees flow steadily alongside allocations.
+const LIVE_CAP: usize = 64;
+/// Sample per-op latency every Nth allocation: the timer costs as much
+/// as an uncontended allocation, so timing every op would hide the lock.
+const LAT_EVERY: usize = 16;
+/// Repetitions per configuration; each cell reports the median of these,
+/// so neither a hiccup nor a burst-credit windfall during one repetition
+/// decides the comparison.
+const REPS: usize = 9;
+
+/// Total allocations per cell, split across the cell's threads so every
+/// cell runs for a comparable wall time regardless of thread count
+/// (per-thread op counts would make low-thread cells too short to
+/// average over scheduler states).
+fn total_ops() -> usize {
+    if full_scale() {
+        3_200_000
+    } else {
+        320_000
+    }
+}
+
+/// One measured configuration.
+struct Cell {
+    threads: usize,
+    arenas: usize,
+    mops: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// Deterministic per-thread size schedule: mixed small-path requests
+/// (17 B – ~6 KB), the regime where lock contention dominates.
+fn size_for(thread: usize, i: usize) -> usize {
+    17 + (i * 131 + thread * 977) % 6_000
+}
+
+fn run_cell(threads: usize, arenas: usize) -> Cell {
+    let heap = Arc::new(
+        HermesHeap::new(HermesHeapConfig {
+            heap_capacity: 64 << 20,
+            large_capacity: 64 << 20,
+            arenas,
+            hermes: Default::default(),
+        })
+        .expect("arena reservation"),
+    );
+    // Deterministic reservation instead of the live manager thread: the
+    // cells measure lock contention on the allocation path, so the
+    // background thread's wakeup timing must not differ between runs.
+    for _ in 0..4 {
+        heap.run_management_round();
+    }
+    let ops = total_ops() / threads;
+    let barrier = Arc::new(Barrier::new(threads + 1));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let heap = Arc::clone(&heap);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut live: Vec<(usize, Layout)> = Vec::with_capacity(LIVE_CAP);
+                let mut lat = Vec::with_capacity(ops / LAT_EVERY + 1);
+                // Hoisted layout schedule: the timed loop should measure
+                // the allocator, not `Layout` construction.
+                let layouts: Vec<Layout> = (0..ops)
+                    .map(|i| Layout::from_size_align(size_for(t, i), 16).unwrap())
+                    .collect();
+                // Warm-up outside the timed window: fault in this
+                // thread's working set and settle its arena affinity.
+                for &l in layouts.iter().take(LIVE_CAP) {
+                    let p = heap.allocate(l).expect("capacity");
+                    // SAFETY: fresh allocation of `l.size()` bytes.
+                    unsafe { std::ptr::write_bytes(p.as_ptr(), 1, l.size()) };
+                    live.push((p.as_ptr() as usize, l));
+                }
+                barrier.wait();
+                for (i, &l) in layouts.iter().enumerate() {
+                    let p = if i % LAT_EVERY == 0 {
+                        let t0 = Instant::now();
+                        let p = heap.allocate(l).expect("capacity");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        p
+                    } else {
+                        heap.allocate(l).expect("capacity")
+                    };
+                    // SAFETY: fresh allocation; first byte is writable.
+                    unsafe { std::ptr::write_volatile(p.as_ptr(), 1) };
+                    live.push((p.as_ptr() as usize, l));
+                    if live.len() >= LIVE_CAP {
+                        let (addr, fl) = live.swap_remove(i % LIVE_CAP);
+                        let fp = std::ptr::NonNull::new(addr as *mut u8).unwrap();
+                        // SAFETY: removed from the live set; freed once.
+                        unsafe { heap.deallocate(fp, fl) };
+                    }
+                }
+                for (addr, fl) in live {
+                    let fp = std::ptr::NonNull::new(addr as *mut u8).unwrap();
+                    // SAFETY: still live; freed exactly once.
+                    unsafe { heap.deallocate(fp, fl) };
+                }
+                lat
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut lats: Vec<u64> = Vec::with_capacity(ops * threads);
+    for h in handles {
+        lats.extend(h.join().expect("worker thread"));
+    }
+    let wall = t0.elapsed();
+    heap.check_integrity().expect("heap intact after sweep");
+
+    lats.sort_unstable();
+    let pick = |q: f64| lats[((lats.len() as f64 * q) as usize).min(lats.len() - 1)];
+    Cell {
+        threads,
+        arenas,
+        mops: (ops * threads) as f64 / wall.as_secs_f64() / 1e6,
+        p50_ns: pick(0.50),
+        p99_ns: pick(0.99),
+    }
+}
+
+fn find(cells: &[Cell], threads: usize, arenas: usize) -> &Cell {
+    cells
+        .iter()
+        .find(|c| c.threads == threads && c.arenas == arenas)
+        .expect("cell measured")
+}
+
+fn main() {
+    header(
+        "Contention",
+        "allocation scaling: threads x {1 arena, 4 arenas}",
+    );
+    // Paired design: at each thread count, the 1-arena and N-arena cells
+    // run back-to-back in an A-B-B-A order, so both sample the same host
+    // state — burstable machines intermittently grant extra CPU, and
+    // pairing with the geometric mean of the two orderings cancels that
+    // drift out of the comparison. Each cell reports its median across
+    // repetitions; the shape checks compare the median of the
+    // per-repetition paired *ratios*.
+    let mut reps: Vec<Cell> = Vec::new();
+    let mut ratios: Vec<(usize, f64)> = Vec::new(); // (threads, multi/single)
+    for _ in 0..REPS {
+        for &threads in &THREAD_COUNTS {
+            let s1 = run_cell(threads, 1);
+            let m1 = run_cell(threads, MULTI_ARENAS);
+            let m2 = run_cell(threads, MULTI_ARENAS);
+            let s2 = run_cell(threads, 1);
+            ratios.push((threads, ((m1.mops / s1.mops) * (m2.mops / s2.mops)).sqrt()));
+            reps.extend([s1, m1, m2, s2]);
+        }
+    }
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let median_ratio = |threads: usize| -> f64 {
+        let v: Vec<u64> = ratios
+            .iter()
+            .filter(|&&(t, _)| t == threads)
+            .map(|&(_, q)| (q * 1e4) as u64)
+            .collect();
+        median(v) as f64 / 1e4
+    };
+    let mut cells: Vec<Cell> = Vec::new();
+    for &arenas in &[1usize, MULTI_ARENAS] {
+        for &threads in &THREAD_COUNTS {
+            let of_cell: Vec<&Cell> = reps
+                .iter()
+                .filter(|c| c.threads == threads && c.arenas == arenas)
+                .collect();
+            cells.push(Cell {
+                threads,
+                arenas,
+                // Median via integer (k)units so the closure stays shared.
+                mops: median(of_cell.iter().map(|c| (c.mops * 1e3) as u64).collect()) as f64 / 1e3,
+                p50_ns: median(of_cell.iter().map(|c| c.p50_ns).collect()),
+                p99_ns: median(of_cell.iter().map(|c| c.p99_ns).collect()),
+            });
+        }
+    }
+    cells.sort_by_key(|c| (c.arenas, c.threads));
+
+    println!(
+        "\n{:>7} {:>7} {:>10} {:>9} {:>9}",
+        "threads", "arenas", "Mops/s", "p50(ns)", "p99(ns)"
+    );
+    for c in &cells {
+        println!(
+            "{:>7} {:>7} {:>10.2} {:>9} {:>9}",
+            c.threads, c.arenas, c.mops, c.p50_ns, c.p99_ns
+        );
+    }
+
+    let csv = results_dir().join("contention.csv");
+    let mut out = String::from("threads,arenas,mops,p50_ns,p99_ns\n");
+    for c in &cells {
+        out.push_str(&format!(
+            "{},{},{:.3},{},{}\n",
+            c.threads, c.arenas, c.mops, c.p50_ns, c.p99_ns
+        ));
+    }
+    if std::fs::create_dir_all(results_dir())
+        .and_then(|()| std::fs::write(&csv, out))
+        .is_ok()
+    {
+        println!("\ncsv: {}", csv.display());
+    }
+
+    let mut checks = Checks::new();
+    // Headline acceptance: pooled over the contended regime (>= 4
+    // threads), the paired ratios put sharding strictly ahead.
+    let pooled: Vec<u64> = ratios
+        .iter()
+        .filter(|&&(t, _)| t >= 4)
+        .map(|&(_, q)| (q * 1e4) as u64)
+        .collect();
+    let pooled_q = median(pooled) as f64 / 1e4;
+    checks.check(
+        &format!("4+ threads: {MULTI_ARENAS} arenas beat 1 arena"),
+        "sharding wins under contention",
+        &format!("median paired speedup {pooled_q:.3}x"),
+        pooled_q > 1.0,
+    );
+    for &threads in &[4usize, 8] {
+        let q = median_ratio(threads);
+        checks.check(
+            &format!("{threads} threads: {MULTI_ARENAS} arenas beat 1 arena"),
+            "sharding wins under contention",
+            &format!("median paired speedup {q:.3}x"),
+            q > 1.0,
+        );
+    }
+    let s1 = find(&cells, 4, 1);
+    let m1 = find(&cells, 4, MULTI_ARENAS);
+    checks.check(
+        "4 threads: sharding does not worsen p99",
+        "p99 no worse under sharding",
+        &format!("{} vs {} ns", m1.p99_ns, s1.p99_ns),
+        m1.p99_ns <= s1.p99_ns * 2,
+    );
+    checks.finish();
+}

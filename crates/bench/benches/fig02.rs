@@ -8,7 +8,10 @@ use hermes_workloads::colocation::{insert_share_at, insert_share_mean};
 use hermes_workloads::{run_colocation, ColocationConfig};
 
 fn main() {
-    header("Figure 2", "insert (allocation) share of RocksDB query latency");
+    header(
+        "Figure 2",
+        "insert (allocation) share of RocksDB query latency",
+    );
     let mut checks = Checks::new();
     let mut table = Table::new(["size", "avg.", "p75", "p90", "p95", "p99"]);
     let mut shares = Vec::new();

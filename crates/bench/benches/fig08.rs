@@ -6,7 +6,10 @@ use hermes_sim::report::Table;
 use hermes_workloads::Scenario;
 
 fn main() {
-    header("Figure 8", "large (256KB) allocation latency, all allocators");
+    header(
+        "Figure 8",
+        "large (256KB) allocation latency, all allocators",
+    );
     let series = run_grid(256 * 1024, micro_large_total(), 42);
     print_and_dump(&series, "fig08_cdf.csv");
 

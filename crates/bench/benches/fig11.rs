@@ -1,7 +1,7 @@
 //! Figure 11: Redis query-latency CDF (p90-p99 zoom) under 100 % memory pressure.
 
 use hermes_allocators::AllocatorKind;
-use hermes_bench::{header, queries_large, queries_small, pct, Checks};
+use hermes_bench::{header, pct, queries_large, queries_small, Checks};
 use hermes_services::ServiceKind;
 use hermes_sim::report::{summary_row_us, write_cdf_csv, Table};
 use hermes_workloads::{run_colocation, ColocationConfig};
@@ -31,8 +31,16 @@ fn main() {
             hermes_bench::results_dir().join(format!("fig11_{}.csv", record)),
             &series,
         );
-        let h = summaries.iter().find(|(k, _)| *k == AllocatorKind::Hermes).unwrap().1;
-        let g = summaries.iter().find(|(k, _)| *k == AllocatorKind::Glibc).unwrap().1;
+        let h = summaries
+            .iter()
+            .find(|(k, _)| *k == AllocatorKind::Hermes)
+            .unwrap()
+            .1;
+        let g = summaries
+            .iter()
+            .find(|(k, _)| *k == AllocatorKind::Glibc)
+            .unwrap()
+            .1;
         let red = h.reduction_vs(&g);
         checks.check(
             &format!("{label}: Hermes reduces avg vs Glibc"),

@@ -7,7 +7,11 @@ use hermes_workloads::{run_sensitivity, Scenario, FACTORS};
 fn main() {
     header("Figure 15", "RSV_FACTOR sensitivity, small (1KB) requests");
     let mut checks = Checks::new();
-    let total: usize = if hermes_bench::full_scale() { 1 << 30 } else { 96 << 20 };
+    let total: usize = if hermes_bench::full_scale() {
+        1 << 30
+    } else {
+        96 << 20
+    };
     for (sc, title) in [
         (Scenario::Dedicated, "dedicated system"),
         (Scenario::AnonPressure, "anonymous pressure"),
@@ -26,13 +30,11 @@ fn main() {
             ]);
         }
         print!("{}", t.render());
-        let _ = t.write_csv(
-            hermes_bench::results_dir().join(format!("fig15_{}.csv", sc.name())),
-        );
+        let _ = t.write_csv(hermes_bench::results_dir().join(format!("fig15_{}.csv", sc.name())));
         let f05 = pts.iter().find(|p| p.factor == 0.5).unwrap().reduction;
         let f20 = pts.iter().find(|p| p.factor == 2.0).unwrap().reduction;
         let f30 = pts.iter().find(|p| p.factor == 3.0).unwrap().reduction;
-        if sc == Scenario::Dedicated && 1024 == 1024 {
+        if sc == Scenario::Dedicated {
             checks.check(
                 "0.5x hurts the small-request tail vs 2.0x (dedicated)",
                 "negative p99 reduction at 0.5x",

@@ -5,7 +5,10 @@ use hermes_sim::report::Table;
 use hermes_workloads::{run_sensitivity, Scenario, FACTORS};
 
 fn main() {
-    header("Figure 16", "RSV_FACTOR sensitivity, large (256KB) requests");
+    header(
+        "Figure 16",
+        "RSV_FACTOR sensitivity, large (256KB) requests",
+    );
     let mut checks = Checks::new();
     let total: usize = 1 << 30;
     for (sc, title) in [
@@ -26,9 +29,7 @@ fn main() {
             ]);
         }
         print!("{}", t.render());
-        let _ = t.write_csv(
-            hermes_bench::results_dir().join(format!("fig16_{}.csv", sc.name())),
-        );
+        let _ = t.write_csv(hermes_bench::results_dir().join(format!("fig16_{}.csv", sc.name())));
         let f05 = pts.iter().find(|p| p.factor == 0.5).unwrap().reduction;
         let f20 = pts.iter().find(|p| p.factor == 2.0).unwrap().reduction;
         let f30 = pts.iter().find(|p| p.factor == 3.0).unwrap().reduction;

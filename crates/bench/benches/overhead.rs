@@ -5,7 +5,10 @@ use hermes_bench::{header, micro_small_total, Checks};
 use hermes_workloads::measure_overhead;
 
 fn main() {
-    header("Overhead (§5.5)", "management thread, standing reserve, daemon");
+    header(
+        "Overhead (§5.5)",
+        "management thread, standing reserve, daemon",
+    );
     let mut checks = Checks::new();
     for (label, size) in [("small (1KB)", 1024usize), ("large (256KB)", 256 * 1024)] {
         let total = if size == 1024 {
@@ -30,7 +33,10 @@ fn main() {
         checks.check(
             &format!("{label}: reserved-but-unused a few MB"),
             "6-6.4 MB",
-            &format!("{:.1} MB", o.reserved_unused_bytes as f64 / (1 << 20) as f64),
+            &format!(
+                "{:.1} MB",
+                o.reserved_unused_bytes as f64 / (1 << 20) as f64
+            ),
             o.reserved_unused_bytes > 1 << 20 && o.reserved_unused_bytes < 64 << 20,
         );
         checks.check(

@@ -12,7 +12,14 @@ fn main() {
     // HERMES_FULL=1 runs the full day.
     let (hours, scale) = if full_scale() { (24u64, 1.0) } else { (4, 6.0) };
     let mut checks = Checks::new();
-    let mut t = Table::new(["service", "Default", "Hermes", "Killing", "Dedicated", "util(Hermes)"]);
+    let mut t = Table::new([
+        "service",
+        "Default",
+        "Hermes",
+        "Killing",
+        "Dedicated",
+        "util(Hermes)",
+    ]);
     let paper = [
         (ServiceKind::Redis, [212u64, 194, 123, 0]),
         (ServiceKind::Rocksdb, [380, 364, 267, 0]),
@@ -68,7 +75,10 @@ fn main() {
         checks.check(
             &format!("{service}: Hermes keeps most of Default's throughput"),
             ">85%",
-            &format!("{:.0}%", measured[1] as f64 / measured[0].max(1) as f64 * 100.0),
+            &format!(
+                "{:.0}%",
+                measured[1] as f64 / measured[0].max(1) as f64 * 100.0
+            ),
             measured[1] as f64 >= measured[0] as f64 * 0.75,
         );
     }

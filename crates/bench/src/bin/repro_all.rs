@@ -1,13 +1,36 @@
 //! Runs every figure/table harness in sequence (same as `cargo bench
 //! --workspace`, but as one binary for convenience).
 
+use hermes_core::config::default_arena_count;
 use std::process::Command;
 
 fn main() {
+    println!(
+        "repro_all: arenas={} (HERMES_ARENAS={})",
+        default_arena_count(),
+        std::env::var("HERMES_ARENAS").unwrap_or_else(|_| "unset".into()),
+    );
     let benches = [
-        "fig02", "fig03", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "table1", "overhead", "claims", "ablation_gradual",
-        "ablation_reclaim", "ablation_fadvise", "ablation_shrink",
+        "fig02",
+        "fig03",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "table1",
+        "overhead",
+        "claims",
+        "ablation_gradual",
+        "ablation_reclaim",
+        "ablation_fadvise",
+        "ablation_shrink",
+        "contention",
     ];
     let mut failures = 0;
     for b in benches {

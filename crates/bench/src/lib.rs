@@ -227,10 +227,8 @@ pub mod microfig {
             .iter()
             .map(|s| (format!("{}-{}", s.label, s.scenario), s.cdf.clone()))
             .collect();
-        let named_ref: Vec<(&str, Vec<_>)> = named
-            .iter()
-            .map(|(n, c)| (n.as_str(), c.clone()))
-            .collect();
+        let named_ref: Vec<(&str, Vec<_>)> =
+            named.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
         let path = crate::results_dir().join(csv_name);
         if let Err(e) = write_cdf_csv(&path, &named_ref) {
             eprintln!("warning: could not write {}: {e}", path.display());
@@ -281,7 +279,7 @@ pub mod sweep {
     }
 
     /// Finds a cell.
-    pub fn find<'a>(cells: &'a [Cell], kind: AllocatorKind, level: f64) -> &'a Cell {
+    pub fn find(cells: &[Cell], kind: AllocatorKind, level: f64) -> &Cell {
         cells
             .iter()
             .find(|c| c.kind == kind && (c.level - level).abs() < 1e-9)

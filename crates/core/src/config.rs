@@ -6,6 +6,32 @@ use std::time::Duration;
 /// `M_MMAP_THRESHOLD`, 128 KB by default).
 pub const DEFAULT_MMAP_THRESHOLD: usize = 128 * 1024;
 
+/// Upper bound on the default arena count (ptmalloc caps its arena
+/// multiplier similarly; more shards than cores only fragments reserve).
+pub const MAX_DEFAULT_ARENAS: usize = 8;
+
+/// Hard cap on the arena count accepted from `HERMES_ARENAS`. Splitting a
+/// backing across more shards than this leaves each shard too small to
+/// serve a useful request mix (the global allocator additionally bounds
+/// the count by its carve-slice floor, see `rt::global`).
+pub const MAX_ARENAS: usize = 64;
+
+/// Default number of runtime arenas: `min(ncpus, 8)`, overridable with the
+/// `HERMES_ARENAS` environment variable (values are clamped to
+/// `1..=MAX_ARENAS`; unparsable values fall back to the cpu-derived
+/// default).
+pub fn default_arena_count() -> usize {
+    if let Ok(v) = std::env::var("HERMES_ARENAS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.clamp(1, MAX_ARENAS);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_DEFAULT_ARENAS)
+}
+
 /// Tuning knobs of the Hermes mechanism.
 ///
 /// The defaults reproduce the paper's implementation choices:
@@ -142,17 +168,25 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = HermesConfig::default();
-        c.rsv_factor = -1.0;
+        let c = HermesConfig {
+            rsv_factor: -1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = HermesConfig::default();
-        c.table_size = 0;
+        let c = HermesConfig {
+            table_size: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = HermesConfig::default();
-        c.trim_ratio = 0.5;
+        let c = HermesConfig {
+            trim_ratio: 0.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = HermesConfig::default();
-        c.adv_thr = 1.5;
+        let c = HermesConfig {
+            adv_thr: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -101,11 +101,31 @@ mod tests {
 
     fn files() -> Vec<FileCacheView> {
         vec![
-            FileCacheView { file: 1, cached_bytes: 4 * GB, batch_owned: true },
-            FileCacheView { file: 2, cached_bytes: 10 * GB, batch_owned: true },
-            FileCacheView { file: 3, cached_bytes: 6 * GB, batch_owned: true },
-            FileCacheView { file: 4, cached_bytes: 20 * GB, batch_owned: false }, // LC-owned
-            FileCacheView { file: 5, cached_bytes: 0, batch_owned: true },        // nothing cached
+            FileCacheView {
+                file: 1,
+                cached_bytes: 4 * GB,
+                batch_owned: true,
+            },
+            FileCacheView {
+                file: 2,
+                cached_bytes: 10 * GB,
+                batch_owned: true,
+            },
+            FileCacheView {
+                file: 3,
+                cached_bytes: 6 * GB,
+                batch_owned: true,
+            },
+            FileCacheView {
+                file: 4,
+                cached_bytes: 20 * GB,
+                batch_owned: false,
+            }, // LC-owned
+            FileCacheView {
+                file: 5,
+                cached_bytes: 0,
+                batch_owned: true,
+            }, // nothing cached
         ]
     }
 
@@ -156,8 +176,16 @@ mod tests {
     #[test]
     fn deterministic_tie_break() {
         let fs = vec![
-            FileCacheView { file: 9, cached_bytes: GB, batch_owned: true },
-            FileCacheView { file: 3, cached_bytes: GB, batch_owned: true },
+            FileCacheView {
+                file: 9,
+                cached_bytes: GB,
+                batch_owned: true,
+            },
+            FileCacheView {
+                file: 3,
+                cached_bytes: GB,
+                batch_owned: true,
+            },
         ];
         let d = select_victims(&fs, inputs(0.95, 2 * GB), 0.9, 0.0);
         assert_eq!(d.victims, vec![3, 9], "ties broken by id");

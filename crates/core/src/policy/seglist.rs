@@ -98,15 +98,14 @@ impl SegregatedFreeList {
         // guaranteed to be >= req (except in the capped last bucket,
         // which is checked explicitly).
         for b in start..=self.table_size {
-            while let Some(&candidate) = self.buckets[b].front() {
+            // Capped bucket may hold chunks smaller than very large
+            // requests; leave those for the expand path.
+            if let Some(&candidate) = self.buckets[b].front() {
                 if candidate.size >= req {
                     let c = self.buckets[b].pop_front().expect("front exists");
                     self.total -= c.size;
                     return PoolHit::Fit(c);
                 }
-                // Capped bucket may hold chunks smaller than very large
-                // requests; leave them for the expand path.
-                break;
             }
         }
         // No fitting chunk: use the largest chunk in the pool and expand.
@@ -255,9 +254,18 @@ mod tests {
         // found via the bucket(req)+1 rule, never a chunk that might be
         // smaller than the request.
         let mut p = pool();
-        p.insert(MmapChunk { id: 1, size: 150 * KB });
-        p.insert(MmapChunk { id: 2, size: 200 * KB });
-        p.insert(MmapChunk { id: 3, size: 524 * KB });
+        p.insert(MmapChunk {
+            id: 1,
+            size: 150 * KB,
+        });
+        p.insert(MmapChunk {
+            id: 2,
+            size: 200 * KB,
+        });
+        p.insert(MmapChunk {
+            id: 3,
+            size: 524 * KB,
+        });
         match p.take(278 * KB) {
             PoolHit::Fit(c) => assert_eq!(c.id, 3),
             other => panic!("expected fit, got {other:?}"),
@@ -268,7 +276,12 @@ mod tests {
     #[test]
     fn fit_never_returns_too_small() {
         let mut p = pool();
-        for (id, sz) in [(1u64, 128 * KB), (2, 300 * KB), (3, 600 * KB), (4, 2048 * KB)] {
+        for (id, sz) in [
+            (1u64, 128 * KB),
+            (2, 300 * KB),
+            (3, 600 * KB),
+            (4, 2048 * KB),
+        ] {
             p.insert(MmapChunk { id, size: sz });
         }
         for req in [128 * KB, 129 * KB, 256 * KB, 500 * KB, 1024 * KB, 2000 * KB] {
@@ -287,8 +300,14 @@ mod tests {
     #[test]
     fn oversized_request_expands_largest() {
         let mut p = pool();
-        p.insert(MmapChunk { id: 1, size: 256 * KB });
-        p.insert(MmapChunk { id: 2, size: 512 * KB });
+        p.insert(MmapChunk {
+            id: 1,
+            size: 256 * KB,
+        });
+        p.insert(MmapChunk {
+            id: 2,
+            size: 512 * KB,
+        });
         match p.take(4 * 1024 * KB) {
             PoolHit::Expand { chunk, extra } => {
                 assert_eq!(chunk.id, 2, "largest chunk chosen");
@@ -308,10 +327,16 @@ mod tests {
     #[test]
     fn capped_bucket_requests_still_fit_when_possible() {
         let mut p = pool();
-        p.insert(MmapChunk { id: 1, size: 1100 * KB }); // bucket 8
-        p.insert(MmapChunk { id: 2, size: 5000 * KB }); // bucket 8
-        // A 2 MB request maps to bucket 8; the front chunk (1100 KB) is too
-        // small, but the pool holds a fitting one.
+        p.insert(MmapChunk {
+            id: 1,
+            size: 1100 * KB,
+        }); // bucket 8
+        p.insert(MmapChunk {
+            id: 2,
+            size: 5000 * KB,
+        }); // bucket 8
+            // A 2 MB request maps to bucket 8; the front chunk (1100 KB) is too
+            // small, but the pool holds a fitting one.
         match p.take(2048 * KB) {
             PoolHit::Fit(c) => assert_eq!(c.id, 2),
             other => panic!("expected fit, got {other:?}"),
@@ -333,8 +358,14 @@ mod tests {
     #[test]
     fn total_size_tracks_inserts_and_takes() {
         let mut p = pool();
-        p.insert(MmapChunk { id: 1, size: 128 * KB });
-        p.insert(MmapChunk { id: 2, size: 256 * KB });
+        p.insert(MmapChunk {
+            id: 1,
+            size: 128 * KB,
+        });
+        p.insert(MmapChunk {
+            id: 2,
+            size: 256 * KB,
+        });
         assert_eq!(p.total_size(), 384 * KB);
         p.take(128 * KB);
         assert!(p.total_size() < 384 * KB);
@@ -343,8 +374,14 @@ mod tests {
     #[test]
     fn fifo_within_bucket() {
         let mut p = pool();
-        p.insert(MmapChunk { id: 1, size: 300 * KB });
-        p.insert(MmapChunk { id: 2, size: 320 * KB });
+        p.insert(MmapChunk {
+            id: 1,
+            size: 300 * KB,
+        });
+        p.insert(MmapChunk {
+            id: 2,
+            size: 320 * KB,
+        });
         // Both land in bucket 2; a 140 KB request reads bucket 2 and takes
         // the first chunk inserted.
         match p.take(140 * KB) {

@@ -136,6 +136,15 @@ pub fn round_up(v: usize, quantum: usize) -> usize {
     v.div_ceil(quantum) * quantum
 }
 
+/// Splits the runtime-wide reservation floor `min_rsv` across `shards`
+/// arenas so the *aggregate* idle reserve of a sharded runtime matches the
+/// single-heap configuration instead of multiplying by the shard count.
+/// The per-shard floor never drops below `quantum` (one reservation step).
+pub fn per_shard_min_rsv(min_rsv: usize, shards: usize, quantum: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    min_rsv.div_ceil(shards).max(quantum)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +227,18 @@ mod tests {
             count: 4,
         };
         assert_eq!(s.avg_size_or(4096), 25);
+    }
+
+    #[test]
+    fn per_shard_floor_splits_and_clamps() {
+        // Aggregate floor is preserved (up to rounding) across shards.
+        assert_eq!(per_shard_min_rsv(5 << 20, 1, 4096), 5 << 20);
+        assert_eq!(
+            per_shard_min_rsv(5 << 20, 4, 4096),
+            (5usize << 20).div_ceil(4)
+        );
+        // Tiny floors never drop below one reservation quantum.
+        assert_eq!(per_shard_min_rsv(1024, 8, 4096), 4096);
     }
 
     #[test]

@@ -75,7 +75,8 @@ impl Arena {
         if capacity == 0 || capacity % PAGE != 0 {
             return Err(ArenaError::BadCapacity);
         }
-        let layout = Layout::from_size_align(capacity, PAGE).map_err(|_| ArenaError::BadCapacity)?;
+        let layout =
+            Layout::from_size_align(capacity, PAGE).map_err(|_| ArenaError::BadCapacity)?;
         // SAFETY: layout has non-zero size and valid alignment.
         let ptr = unsafe { alloc(layout) };
         let base = NonNull::new(ptr).ok_or(ArenaError::ReserveFailed)?;

@@ -24,19 +24,30 @@
 //! no-ops. The heap and large arenas are static BSS regions, so the
 //! bootstrap never calls the (self-referential) system allocator.
 
-use super::{Arena, HermesHeap};
-use crate::config::HermesConfig;
+use super::{Arena, HermesHeap, PAGE};
+use crate::config::{default_arena_count, HermesConfig};
 use std::alloc::{GlobalAlloc, Layout};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ptr::{self, NonNull};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 
-/// Capacity of the global main-heap arena (BSS; virtual until touched).
+/// Capacity of the global main-heap backing (BSS; virtual until touched),
+/// carved into per-arena sub-regions at boot.
 pub const GLOBAL_HEAP_CAPACITY: usize = 256 << 20;
-/// Capacity of the global large-chunk arena.
+/// Capacity of the global large-chunk backing, carved likewise.
 pub const GLOBAL_LARGE_CAPACITY: usize = 512 << 20;
-const BOOT_CAPACITY: usize = 1 << 20;
+/// Floor on each carved main-heap slice. Caps the global arena count at
+/// `GLOBAL_HEAP_CAPACITY / GLOBAL_MIN_SLICE` (8 at the current sizes)
+/// regardless of `HERMES_ARENAS`, keeping every large slice at ≥ 64 MB.
+/// Sharding bounds the *single largest* allocation the global allocator
+/// can serve at one large slice (`GLOBAL_LARGE_CAPACITY / arenas`);
+/// see DESIGN.md §4.
+const GLOBAL_MIN_SLICE: usize = 32 << 20;
+/// Bootstrap arena capacity. Sized for the shard set's construction-time
+/// metadata (each shard's pool pre-reserves extent/bucket storage), which
+/// is served from here while `STATE == INITING`.
+const BOOT_CAPACITY: usize = 4 << 20;
 
 #[repr(align(4096))]
 struct Backing<const N: usize>(UnsafeCell<[u8; N]>);
@@ -85,6 +96,27 @@ fn boot_alloc(layout: Layout) -> *mut u8 {
     }
 }
 
+/// Carves a static backing of `capacity` bytes into `n` page-aligned
+/// sub-arenas.
+///
+/// # Safety
+///
+/// As [`Arena::from_static`]: the region must be exclusively owned and
+/// live for the program's lifetime, and this must be called exactly once
+/// per backing.
+unsafe fn carve_static(base: *mut u8, capacity: usize, n: usize) -> Vec<Arena> {
+    let slice = (capacity / n) / PAGE * PAGE;
+    assert!(slice >= PAGE * 2, "backing too small for {n} arenas");
+    let mut arenas = Vec::with_capacity(n);
+    for i in 0..n {
+        // SAFETY: the slices are disjoint sub-ranges of the caller's
+        // exclusively owned backing.
+        let a = unsafe { Arena::from_static(base.add(i * slice), slice).expect("carve backing") };
+        arenas.push(a);
+    }
+    arenas
+}
+
 fn try_init() {
     if STATE
         .compare_exchange(UNINIT, INITING, Ordering::Acquire, Ordering::Relaxed)
@@ -94,17 +126,15 @@ fn try_init() {
     }
     // Allocations made while constructing the heap (pool metadata) are
     // served by the bootstrap arena because STATE == INITING.
+    let n = default_arena_count().clamp(1, GLOBAL_HEAP_CAPACITY / GLOBAL_MIN_SLICE);
     // SAFETY: the backing statics are used exactly once, here.
-    let heap_arena = unsafe {
-        Arena::from_static(HEAP_BACKING.0.get() as *mut u8, GLOBAL_HEAP_CAPACITY)
-            .expect("heap backing")
-    };
+    let heap_arenas =
+        unsafe { carve_static(HEAP_BACKING.0.get() as *mut u8, GLOBAL_HEAP_CAPACITY, n) };
     // SAFETY: as above.
-    let large_arena = unsafe {
-        Arena::from_static(LARGE_BACKING.0.get() as *mut u8, GLOBAL_LARGE_CAPACITY)
-            .expect("large backing")
-    };
-    let heap = HermesHeap::with_arenas(heap_arena, large_arena, HermesConfig::default());
+    let large_arenas =
+        unsafe { carve_static(LARGE_BACKING.0.get() as *mut u8, GLOBAL_LARGE_CAPACITY, n) };
+    let sets: Vec<(Arena, Arena)> = heap_arenas.into_iter().zip(large_arenas).collect();
+    let heap = HermesHeap::with_arena_sets(sets, HermesConfig::default());
     // SAFETY: sole writer (we won the CAS); readers wait for READY.
     unsafe { (*GLOBAL.0.get()).write(heap) };
     STATE.store(READY, Ordering::Release);

@@ -60,6 +60,19 @@ pub struct HeapStats {
     pub demand_touched_pages: u64,
 }
 
+impl HeapStats {
+    /// Adds `other` into `self` field-wise; used to merge per-arena
+    /// statistics into the runtime-wide view.
+    pub fn accumulate(&mut self, other: &HeapStats) {
+        self.in_use += other.in_use;
+        self.binned += other.binned;
+        self.brk += other.brk;
+        self.committed += other.committed;
+        self.live += other.live;
+        self.demand_touched_pages += other.demand_touched_pages;
+    }
+}
+
 /// Errors from heap operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HeapError {
@@ -160,7 +173,9 @@ impl RawHeap {
     /// Bytes of the top chunk whose mappings are already constructed —
     /// the memory that can be handed out with no fault at all.
     pub fn reserve_ready(&self) -> usize {
-        self.committed_off.min(self.brk_off).saturating_sub(self.top_off)
+        self.committed_off
+            .min(self.brk_off)
+            .saturating_sub(self.top_off)
     }
 
     /// `true` if `ptr` belongs to this heap.
@@ -582,7 +597,10 @@ impl RawHeap {
             off += size;
         }
         if off != self.top_off {
-            return Err(format!("chunk walk overran top: {off:#x} vs {:#x}", self.top_off));
+            return Err(format!(
+                "chunk walk overran top: {off:#x} vs {:#x}",
+                self.top_off
+            ));
         }
         // Free-list consistency.
         let mut linked = 0usize;
@@ -591,7 +609,8 @@ impl RawHeap {
             let mut prev_link = NIL;
             while cur != NIL {
                 // SAFETY: invariant — bins reference committed free chunks.
-                let (size, in_use, bk) = unsafe { (self.chunk_size(cur), self.chunk_in_use(cur), self.bk(cur)) };
+                let (size, in_use, bk) =
+                    unsafe { (self.chunk_size(cur), self.chunk_in_use(cur), self.bk(cur)) };
                 if in_use {
                     return Err(format!("bin {b}: in-use chunk {cur:#x} linked"));
                 }
@@ -611,7 +630,10 @@ impl RawHeap {
             return Err(format!("binned {linked} != walked free {free_bytes}"));
         }
         if self.stats.binned != free_bytes {
-            return Err(format!("stats.binned {} != {free_bytes}", self.stats.binned));
+            return Err(format!(
+                "stats.binned {} != {free_bytes}",
+                self.stats.binned
+            ));
         }
         if self.stats.in_use != in_use_bytes || self.stats.live != live {
             return Err("in-use stats drift".into());
@@ -678,7 +700,7 @@ mod tests {
         let a = h.malloc(48).unwrap();
         let b = h.malloc(48).unwrap();
         let _guard = h.malloc(48).unwrap(); // keep top away
-        // SAFETY: both live.
+                                            // SAFETY: both live.
         unsafe {
             h.free(a);
             h.free(b);
@@ -687,7 +709,11 @@ mod tests {
         // The merged chunk serves a request bigger than either part.
         let big = h.malloc(96).unwrap();
         let base = h.arena.base().as_ptr() as usize;
-        assert_eq!(big.as_ptr() as usize, a.as_ptr() as usize, "merged in place");
+        assert_eq!(
+            big.as_ptr() as usize,
+            a.as_ptr() as usize,
+            "merged in place"
+        );
         let _ = base;
         h.check_integrity().unwrap();
     }

@@ -47,6 +47,20 @@ pub struct LargeStats {
     pub extent_bytes: usize,
 }
 
+impl LargeStats {
+    /// Adds `other` into `self` field-wise; used to merge per-arena
+    /// statistics into the runtime-wide view.
+    pub fn accumulate(&mut self, other: &LargeStats) {
+        self.pool_bytes += other.pool_bytes;
+        self.live += other.live;
+        self.live_bytes += other.live_bytes;
+        self.pool_hits += other.pool_hits;
+        self.cold_allocs += other.cold_allocs;
+        self.demand_touched_pages += other.demand_touched_pages;
+        self.extent_bytes += other.extent_bytes;
+    }
+}
+
 /// The large-chunk allocator.
 pub struct LargePool {
     arena: Arena,
@@ -117,7 +131,7 @@ impl LargePool {
         // Best-fit from recycled extents first (already-touched pages).
         let mut best: Option<(usize, usize)> = None; // (index, size)
         for (i, &(_, sz)) in self.extents.iter().enumerate() {
-            if sz >= need && best.is_none_or(|(_, bs)| sz < bs) {
+            if sz >= need && best.map_or(true, |(_, bs)| sz < bs) {
                 best = Some((i, sz));
             }
         }
@@ -290,7 +304,8 @@ impl LargePool {
             if tail_pages == 0 {
                 continue;
             }
-            self.extents.push((off + e.allocated - tail_pages, tail_pages));
+            self.extents
+                .push((off + e.allocated - tail_pages, tail_pages));
             self.stats.live_bytes -= tail_pages;
             released += tail_pages;
             // Rewrite the header with the reduced size (plain hand-outs

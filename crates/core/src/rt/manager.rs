@@ -1,17 +1,23 @@
-//! The memory management thread (§3.2, Figure 5).
+//! The memory management thread (§3.2, Figure 5), generalised to the
+//! sharded runtime.
 //!
-//! Wakes every `f` (2 ms by default), recomputes thresholds from the last
-//! interval's demand and then:
+//! Wakes every `f` (2 ms by default) and visits **every arena shard**,
+//! recomputing each shard's thresholds from that shard's own demand
+//! trackers — reservation follows each arena's burst profile — and then:
 //!
-//! * **heap side** (Algorithm 1) — if the committed top-chunk reserve is
-//!   below `RSV_THR`, *gradually* extends and touches the break in
-//!   `MEM_CHUNK`-sized steps, taking the heap lock per step so concurrent
-//!   `malloc`s interleave (Figure 6(b)); trims above `TRIM_THR`;
-//! * **mmap side** (Algorithm 2) — processes the delayed-shrink set,
-//!   refills the segregated pool to `TGT_MEM`, releases above `TRIM_THR`.
+//! * **heap side** (Algorithm 1) — if the shard's committed top-chunk
+//!   reserve is below `RSV_THR`, *gradually* extends and touches the break
+//!   in `MEM_CHUNK`-sized steps, taking that shard's heap lock per step so
+//!   concurrent `malloc`s interleave (Figure 6(b)); trims above `TRIM_THR`;
+//! * **mmap side** (Algorithm 2) — processes the shard's delayed-shrink
+//!   set, refills its segregated pool to `TGT_MEM`, releases above
+//!   `TRIM_THR`.
+//!
+//! Reservation and trim byte counters are recorded on the shard they
+//! belong to; round bookkeeping lands on the runtime-wide counters.
 
 use super::stats::Counters;
-use super::{lock, Shared};
+use super::{lock, Shard, Shared};
 use crate::policy::ReservationPlan;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -50,12 +56,15 @@ fn manager_loop(shared: Arc<Shared>, stop_rx: Receiver<()>) {
     }
 }
 
-/// One management round over both paths. Public within the crate so tests
-/// and deterministic benchmarks can drive it without a live thread.
+/// One management round over both paths of every shard. Public within the
+/// crate so tests and deterministic benchmarks can drive it without a
+/// live thread.
 pub(crate) fn run_round(shared: &Shared) {
     let t0 = Instant::now();
-    heap_round(shared);
-    large_round(shared);
+    for shard in shared.shards.iter() {
+        heap_round(shared, shard);
+        large_round(shard);
+    }
     Counters::add(&shared.counters.manager_rounds, 1);
     Counters::add(
         &shared.counters.manager_busy_ns,
@@ -63,10 +72,10 @@ pub(crate) fn run_round(shared: &Shared) {
     );
 }
 
-fn heap_round(shared: &Shared) {
+fn heap_round(shared: &Shared, shard: &Shard) {
     // Roll the interval and read the current reserve under the lock.
     let (th, ready, top_free) = {
-        let mut g = lock(&shared.heap);
+        let mut g = lock(&shard.heap);
         let th = g.tracker.roll_interval();
         (th, g.raw.reserve_ready(), g.raw.top_free())
     };
@@ -80,23 +89,23 @@ fn heap_round(shared: &Shared) {
             ReservationPlan::bulk(deficit)
         };
         for step in plan {
-            let mut g = lock(&shared.heap);
+            let mut g = lock(&shard.heap);
             if g.raw.sbrk_commit(step).is_err() {
                 return; // arena exhausted: stop reserving
             }
             drop(g);
-            Counters::add(&shared.counters.reserved_bytes, step as u64);
+            Counters::add(&shard.counters.reserved_bytes, step as u64);
         }
     } else if top_free > th.trim_thr {
-        let mut g = lock(&shared.heap);
+        let mut g = lock(&shard.heap);
         let released = g.raw.trim(th.tgt_mem);
         drop(g);
-        Counters::add(&shared.counters.trimmed_bytes, released as u64);
+        Counters::add(&shard.counters.trimmed_bytes, released as u64);
     }
 }
 
-fn large_round(shared: &Shared) {
-    let mut g = lock(&shared.large);
+fn large_round(shard: &Shard) {
+    let mut g = lock(&shard.large);
     let th = g.tracker.roll_interval();
     let before = g.pool.pool_total();
     g.pool
@@ -104,8 +113,8 @@ fn large_round(shared: &Shared) {
     let after = g.pool.pool_total();
     drop(g);
     if after > before {
-        Counters::add(&shared.counters.reserved_bytes, (after - before) as u64);
+        Counters::add(&shard.counters.reserved_bytes, (after - before) as u64);
     } else {
-        Counters::add(&shared.counters.trimmed_bytes, (before - after) as u64);
+        Counters::add(&shard.counters.trimmed_bytes, (before - after) as u64);
     }
 }

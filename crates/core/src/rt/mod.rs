@@ -1,19 +1,24 @@
 //! The real Hermes allocator: a user-space malloc with advance
 //! reservation, usable as a [`std::alloc::GlobalAlloc`].
 //!
-//! Architecture (mirrors Figure 4 and §3.2 of the paper):
+//! Architecture (generalises Figure 4 and §3.2 of the paper from one heap
+//! to an arena *set*, ptmalloc-style):
 //!
-//! * [`heap::RawHeap`] — the main heap (brk path) for requests below the
+//! * [`heap::RawHeap`] — a main heap (brk path) for requests below the
 //!   mmap threshold: boundary-tag chunks, free bins, top chunk, emulated
 //!   program break.
 //! * [`large::LargePool`] — the mmap path: page-granular chunks with the
 //!   segregated pre-touch pool and delayed shrink.
-//! * [`HermesHeap`] — the synchronised front end; spawns the **memory
-//!   management thread** which wakes every `f` ms, rolls the demand
-//!   trackers, gradually reserves (Algorithm 1) and runs the mmap round
-//!   (Algorithm 2).
+//! * [`HermesHeap`] — the synchronised front end over **N arena shards**,
+//!   each holding its own `RawHeap` + `LargePool` pair behind per-shard
+//!   locks. Threads cache a home shard (round-robin affinity) and steal a
+//!   neighbour's lock on contention, so a multi-threaded service no longer
+//!   serialises on one heap lock. It also spawns the **memory management
+//!   thread**, which wakes every `f` ms and runs Algorithm 1/2 *per arena*
+//!   against per-arena demand trackers.
 //! * [`global::Hermes`] — a zero-sized `#[global_allocator]` facade that
-//!   lazily boots a [`HermesHeap`] from static BSS arenas.
+//!   lazily boots a [`HermesHeap`], carving its static BSS backing into N
+//!   sub-arenas.
 //!
 //! # Examples
 //!
@@ -42,24 +47,29 @@ pub use arena::{Arena, ArenaError, PAGE};
 pub use global::Hermes;
 pub use heap::{HeapError, HeapStats, RawHeap};
 pub use large::{LargePool, LargeStats};
-pub use stats::{Counters, CountersSnapshot};
+pub use stats::{ArenaStats, Counters, CountersSnapshot};
 
-use crate::config::HermesConfig;
-use crate::policy::thresholds::ThresholdTracker;
+use crate::config::{default_arena_count, HermesConfig};
+use crate::policy::thresholds::{per_shard_min_rsv, ThresholdTracker};
 use manager::ManagerHandle;
-use std::sync::Mutex;
 use std::alloc::Layout;
+use std::cell::Cell;
 use std::fmt;
 use std::ptr::NonNull;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
 /// Sizing of a [`HermesHeap`].
 #[derive(Debug, Clone)]
 pub struct HermesHeapConfig {
-    /// Capacity of the main-heap arena.
+    /// Total capacity of the main-heap backing, split across arenas.
     pub heap_capacity: usize,
-    /// Capacity of the large-chunk arena.
+    /// Total capacity of the large-chunk backing, split across arenas.
     pub large_capacity: usize,
+    /// Number of arena shards. Defaults to `min(ncpus, 8)`, overridable
+    /// with the `HERMES_ARENAS` environment variable; `1` reproduces the
+    /// paper's single-heap prototype exactly.
+    pub arenas: usize,
     /// Policy knobs.
     pub hermes: HermesConfig,
 }
@@ -69,6 +79,7 @@ impl Default for HermesHeapConfig {
         HermesHeapConfig {
             heap_capacity: 256 << 20,
             large_capacity: 512 << 20,
+            arenas: default_arena_count(),
             hermes: HermesConfig::default(),
         }
     }
@@ -80,8 +91,15 @@ impl HermesHeapConfig {
         HermesHeapConfig {
             heap_capacity: 16 << 20,
             large_capacity: 64 << 20,
+            arenas: default_arena_count(),
             hermes: HermesConfig::default(),
         }
+    }
+
+    /// Returns a copy with a different arena count (clamped to >= 1).
+    pub fn with_arena_count(mut self, arenas: usize) -> Self {
+        self.arenas = arenas.max(1);
+        self
     }
 }
 
@@ -97,6 +115,15 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Non-blocking variant of [`lock`]: `None` only when the lock is held.
+pub(crate) fn try_lock<T>(m: &Mutex<T>) -> Option<MutexGuard<'_, T>> {
+    match m.try_lock() {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
 pub(crate) struct HeapState {
     pub raw: RawHeap,
     pub tracker: ThresholdTracker,
@@ -107,60 +134,20 @@ pub(crate) struct LargeState {
     pub tracker: ThresholdTracker,
 }
 
-pub(crate) struct Shared {
+/// One arena shard: a main heap and a large pool behind their own locks,
+/// plus this shard's demand counters. Frees route back to the owning
+/// shard by pointer range (see [`Shared::shard_of`]).
+pub(crate) struct Shard {
     pub heap: Mutex<HeapState>,
     pub large: Mutex<LargeState>,
     pub counters: Counters,
-    pub cfg: HermesConfig,
-    heap_range: (usize, usize),
-    large_range: (usize, usize),
 }
 
-/// A complete Hermes allocator instance.
-///
-/// Thread-safe: allocation paths take per-side locks; the management
-/// thread (started by [`HermesHeap::start_manager`]) contends on the same
-/// locks in short, gradual steps.
-pub struct HermesHeap {
-    shared: Arc<Shared>,
-    manager: Mutex<Option<ManagerHandle>>,
-}
-
-impl fmt::Debug for HermesHeap {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("HermesHeap")
-            .field("counters", &self.shared.counters.snapshot())
-            .field("manager_running", &lock(&self.manager).is_some())
-            .finish()
-    }
-}
-
-impl HermesHeap {
-    /// Creates an allocator with dynamically reserved arenas.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`ArenaError`] when a backing region cannot be reserved.
-    pub fn new(cfg: HermesHeapConfig) -> Result<Self, ArenaError> {
-        let heap_arena = Arena::reserve(cfg.heap_capacity)?;
-        let large_arena = Arena::reserve(cfg.large_capacity)?;
-        Ok(Self::with_arenas(heap_arena, large_arena, cfg.hermes))
-    }
-
-    /// Creates an allocator over caller-provided arenas (used by the
-    /// global-allocator bootstrap, which hands in static BSS regions).
-    pub fn with_arenas(heap_arena: Arena, large_arena: Arena, cfg: HermesConfig) -> Self {
-        let heap_range = {
-            let b = heap_arena.base().as_ptr() as usize;
-            (b, b + heap_arena.capacity())
-        };
-        let large_range = {
-            let b = large_arena.base().as_ptr() as usize;
-            (b, b + large_arena.capacity())
-        };
+impl Shard {
+    fn new(heap_arena: Arena, large_arena: Arena, cfg: &HermesConfig, shards: usize) -> Self {
         let heap_tracker = ThresholdTracker::new(
             cfg.rsv_factor,
-            cfg.min_rsv,
+            per_shard_min_rsv(cfg.min_rsv, shards, PAGE),
             cfg.rsv_trigger_ratio,
             cfg.trim_ratio,
             PAGE,
@@ -168,13 +155,13 @@ impl HermesHeap {
         );
         let large_tracker = ThresholdTracker::new(
             cfg.rsv_factor,
-            cfg.min_rsv,
+            per_shard_min_rsv(cfg.min_rsv, shards, cfg.mmap_threshold),
             cfg.rsv_trigger_ratio,
             cfg.trim_ratio,
             cfg.mmap_threshold,
             8 << 20,
         );
-        let shared = Arc::new(Shared {
+        Shard {
             heap: Mutex::new(HeapState {
                 raw: RawHeap::new(heap_arena),
                 tracker: heap_tracker,
@@ -184,14 +171,153 @@ impl HermesHeap {
                 tracker: large_tracker,
             }),
             counters: Counters::new(),
+        }
+    }
+}
+
+/// One entry of the free-routing table: a half-open address range, the
+/// shard it belongs to, and whether it is that shard's large arena.
+type RouteRange = (usize, usize, usize, bool);
+
+pub(crate) struct Shared {
+    pub shards: Box<[Shard]>,
+    /// All arena address ranges, sorted by base, for O(log N) free
+    /// routing (the ranges are disjoint, so one binary probe suffices).
+    ranges: Box<[RouteRange]>,
+    /// Runtime-wide counters: management-round bookkeeping lives here;
+    /// allocation-path counters live on the serving shard.
+    pub counters: Counters,
+    pub cfg: HermesConfig,
+}
+
+impl Shared {
+    /// Index of the shard owning `addr`, and whether it is a large-path
+    /// pointer.
+    fn shard_of(&self, addr: usize) -> Option<(usize, bool)> {
+        let i = self.ranges.partition_point(|&(_, end, _, _)| end <= addr);
+        let &(base, _, shard, is_large) = self.ranges.get(i)?;
+        (addr >= base).then_some((shard, is_large))
+    }
+}
+
+/// Process-wide ticket dispenser for thread→arena affinity. Each thread
+/// draws one ticket on its first allocation; `ticket % arenas` is its home
+/// shard in every [`HermesHeap`] instance.
+static NEXT_THREAD_TICKET: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_TICKET: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's affinity ticket. Falls back to ticket 0 when the
+/// thread-local is unavailable (TLS destruction during thread teardown).
+fn thread_ticket() -> usize {
+    THREAD_TICKET
+        .try_with(|c| {
+            let v = c.get();
+            if v != usize::MAX {
+                v
+            } else {
+                let t = NEXT_THREAD_TICKET.fetch_add(1, Ordering::Relaxed);
+                c.set(t);
+                t
+            }
+        })
+        .unwrap_or(0)
+}
+
+/// A complete Hermes allocator instance.
+///
+/// Thread-safe: allocation paths take per-shard locks (home shard first,
+/// stealing a neighbour on contention); the management thread contends on
+/// the same locks in short, gradual steps.
+pub struct HermesHeap {
+    shared: Arc<Shared>,
+    manager: Mutex<Option<ManagerHandle>>,
+}
+
+impl fmt::Debug for HermesHeap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HermesHeap")
+            .field("arenas", &self.shared.shards.len())
+            .field("counters", &self.counters())
+            .field("manager_running", &lock(&self.manager).is_some())
+            .finish()
+    }
+}
+
+impl HermesHeap {
+    /// Creates an allocator with dynamically reserved arenas, splitting
+    /// the configured capacities evenly across `cfg.arenas` shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArenaError`] when a backing region cannot be reserved.
+    pub fn new(cfg: HermesHeapConfig) -> Result<Self, ArenaError> {
+        let n = cfg.arenas.max(1);
+        let heap_per = per_shard_capacity(cfg.heap_capacity, n);
+        let large_per = per_shard_capacity(cfg.large_capacity, n);
+        let mut sets = Vec::with_capacity(n);
+        for _ in 0..n {
+            sets.push((Arena::reserve(heap_per)?, Arena::reserve(large_per)?));
+        }
+        Ok(Self::with_arena_sets(sets, cfg.hermes))
+    }
+
+    /// Creates a single-arena allocator over caller-provided backings
+    /// (the paper's single-heap prototype shape).
+    pub fn with_arenas(heap_arena: Arena, large_arena: Arena, cfg: HermesConfig) -> Self {
+        Self::with_arena_sets(vec![(heap_arena, large_arena)], cfg)
+    }
+
+    /// Creates an allocator over caller-provided `(heap, large)` arena
+    /// pairs, one shard per pair (used by the global-allocator bootstrap,
+    /// which hands in carved static BSS regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty.
+    pub fn with_arena_sets(sets: Vec<(Arena, Arena)>, cfg: HermesConfig) -> Self {
+        assert!(!sets.is_empty(), "at least one arena pair required");
+        let n = sets.len();
+        let mut ranges: Vec<RouteRange> = Vec::with_capacity(n * 2);
+        let shards: Box<[Shard]> = sets
+            .into_iter()
+            .enumerate()
+            .map(|(i, (h, l))| {
+                let hb = h.base().as_ptr() as usize;
+                ranges.push((hb, hb + h.capacity(), i, false));
+                let lb = l.base().as_ptr() as usize;
+                ranges.push((lb, lb + l.capacity(), i, true));
+                Shard::new(h, l, &cfg, n)
+            })
+            .collect();
+        ranges.sort_unstable_by_key(|&(base, ..)| base);
+        let shared = Arc::new(Shared {
+            shards,
+            ranges: ranges.into_boxed_slice(),
+            counters: Counters::new(),
             cfg,
-            heap_range,
-            large_range,
         });
         HermesHeap {
             shared,
             manager: Mutex::new(None),
         }
+    }
+
+    /// Number of arena shards.
+    pub fn arena_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The calling thread's home arena index.
+    pub fn home_arena(&self) -> usize {
+        thread_ticket() % self.shared.shards.len()
+    }
+
+    /// Index of the arena owning `ptr`, or `None` for foreign pointers.
+    pub fn arena_of(&self, ptr: NonNull<u8>) -> Option<usize> {
+        self.shared.shard_of(ptr.as_ptr() as usize).map(|(i, _)| i)
     }
 
     /// Starts the memory management thread (idempotent).
@@ -220,69 +346,208 @@ impl HermesHeap {
         manager::run_round(&self.shared);
     }
 
-    /// Counter snapshot.
+    /// Merged counter snapshot across all arenas.
     pub fn counters(&self) -> CountersSnapshot {
-        self.shared.counters.snapshot()
+        let mut total = self.shared.counters.snapshot();
+        for s in self.shared.shards.iter() {
+            total.accumulate(&s.counters.snapshot());
+        }
+        total
     }
 
-    /// Main-heap statistics.
+    /// Merged main-heap statistics across all arenas.
     pub fn heap_stats(&self) -> HeapStats {
-        lock(&self.shared.heap).raw.stats()
+        let mut total = HeapStats::default();
+        for s in self.shared.shards.iter() {
+            total.accumulate(&lock(&s.heap).raw.stats());
+        }
+        total
     }
 
-    /// Large-path statistics.
+    /// Merged large-path statistics across all arenas.
     pub fn large_stats(&self) -> LargeStats {
-        lock(&self.shared.large).pool.stats()
+        let mut total = LargeStats::default();
+        for s in self.shared.shards.iter() {
+            total.accumulate(&lock(&s.large).pool.stats());
+        }
+        total
+    }
+
+    /// Per-arena statistics breakdown for arena `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.arena_count()`.
+    pub fn arena_stats(&self, index: usize) -> ArenaStats {
+        let s = &self.shared.shards[index];
+        ArenaStats {
+            index,
+            heap: lock(&s.heap).raw.stats(),
+            large: lock(&s.large).pool.stats(),
+            counters: s.counters.snapshot(),
+        }
     }
 
     /// Bytes currently reserved-but-unused (the §5.5 overhead metric:
-    /// committed top-chunk reserve plus the segregated pool).
+    /// committed top-chunk reserve plus the segregated pools, summed over
+    /// all arenas).
     pub fn reserved_unused_bytes(&self) -> usize {
-        let heap = lock(&self.shared.heap).raw.reserve_ready();
-        let pool = lock(&self.shared.large).pool.pool_total();
-        heap + pool
+        let mut total = 0;
+        for s in self.shared.shards.iter() {
+            total += lock(&s.heap).raw.reserve_ready();
+            total += lock(&s.large).pool.pool_total();
+        }
+        total
+    }
+
+    /// Walks every arena's heap verifying structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant, prefixed
+    /// with the offending arena index.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        for (i, s) in self.shared.shards.iter().enumerate() {
+            lock(&s.heap)
+                .raw
+                .check_integrity()
+                .map_err(|e| format!("arena {i}: {e}"))?;
+        }
+        Ok(())
     }
 
     /// Allocates per `layout`. Returns `None` on arena exhaustion.
     pub fn allocate(&self, layout: Layout) -> Option<NonNull<u8>> {
         let size = layout.size().max(1);
-        Counters::add(&self.shared.counters.alloc_count, 1);
+        let home = self.home_arena();
         if size < self.shared.cfg.mmap_threshold {
-            let mut g = lock(&self.shared.heap);
-            g.tracker.on_request(size);
-            let before = g.raw.stats().demand_touched_pages;
-            let p = g.raw.memalign(layout.align(), size)?;
-            let faulted = g.raw.stats().demand_touched_pages > before;
-            drop(g);
-            Counters::add(
-                if faulted {
-                    &self.shared.counters.slow_small
-                } else {
-                    &self.shared.counters.fast_small
-                },
-                1,
-            );
-            Some(p)
+            self.allocate_small(home, layout, size)
         } else {
-            let mut g = lock(&self.shared.large);
-            g.tracker.on_request(size);
-            let before = g.pool.stats().cold_allocs;
-            let p = g.pool.alloc(size, layout.align())?;
-            let cold = g.pool.stats().cold_allocs > before;
-            drop(g);
-            Counters::add(
-                if cold {
-                    &self.shared.counters.slow_large
-                } else {
-                    &self.shared.counters.fast_large
-                },
-                1,
-            );
-            Some(p)
+            self.allocate_large(home, layout, size)
         }
     }
 
-    /// Frees an allocation made by [`HermesHeap::allocate`].
+    /// Takes the heap lock of the home shard, stealing an uncontended
+    /// neighbour's lock ptmalloc-style when the home shard is busy. Falls
+    /// back to a blocking acquisition of the home lock.
+    fn lock_small(&self, home: usize) -> (usize, MutexGuard<'_, HeapState>) {
+        let shards = &self.shared.shards;
+        let n = shards.len();
+        if n > 1 {
+            for k in 0..n {
+                let i = (home + k) % n;
+                if let Some(g) = try_lock(&shards[i].heap) {
+                    return (i, g);
+                }
+            }
+        }
+        (home, lock(&shards[home].heap))
+    }
+
+    fn lock_large(&self, home: usize) -> (usize, MutexGuard<'_, LargeState>) {
+        let shards = &self.shared.shards;
+        let n = shards.len();
+        if n > 1 {
+            for k in 0..n {
+                let i = (home + k) % n;
+                if let Some(g) = try_lock(&shards[i].large) {
+                    return (i, g);
+                }
+            }
+        }
+        (home, lock(&shards[home].large))
+    }
+
+    /// One allocation attempt against `shard`'s main heap: records the
+    /// demand, allocates, and — on success — books the fast/slow counters
+    /// on that shard (the lock is released before the counter updates).
+    fn small_attempt(
+        shard: &Shard,
+        mut g: MutexGuard<'_, HeapState>,
+        layout: Layout,
+        size: usize,
+    ) -> Option<NonNull<u8>> {
+        g.tracker.on_request(size);
+        let before = g.raw.stats().demand_touched_pages;
+        let p = g.raw.memalign(layout.align(), size);
+        let faulted = g.raw.stats().demand_touched_pages > before;
+        drop(g);
+        let p = p?;
+        Counters::add(&shard.counters.alloc_count, 1);
+        Counters::add(
+            if faulted {
+                &shard.counters.slow_small
+            } else {
+                &shard.counters.fast_small
+            },
+            1,
+        );
+        Some(p)
+    }
+
+    /// The large-path twin of [`HermesHeap::small_attempt`].
+    fn large_attempt(
+        shard: &Shard,
+        mut g: MutexGuard<'_, LargeState>,
+        layout: Layout,
+        size: usize,
+    ) -> Option<NonNull<u8>> {
+        g.tracker.on_request(size);
+        let before = g.pool.stats().cold_allocs;
+        let p = g.pool.alloc(size, layout.align());
+        let cold = g.pool.stats().cold_allocs > before;
+        drop(g);
+        let p = p?;
+        Counters::add(&shard.counters.alloc_count, 1);
+        Counters::add(
+            if cold {
+                &shard.counters.slow_large
+            } else {
+                &shard.counters.fast_large
+            },
+            1,
+        );
+        Some(p)
+    }
+
+    fn allocate_small(&self, home: usize, layout: Layout, size: usize) -> Option<NonNull<u8>> {
+        let shards = &self.shared.shards;
+        let (idx, g) = self.lock_small(home);
+        if let Some(p) = Self::small_attempt(&shards[idx], g, layout, size) {
+            return Some(p);
+        }
+        // The serving shard is exhausted: sweep the remaining shards so
+        // the runtime only fails once *all* arenas are full.
+        for k in 1..shards.len() {
+            let shard = &shards[(idx + k) % shards.len()];
+            if let Some(p) = Self::small_attempt(shard, lock(&shard.heap), layout, size) {
+                return Some(p);
+            }
+        }
+        // Count the failed request on the home shard so demand is visible.
+        Counters::add(&shards[home].counters.alloc_count, 1);
+        None
+    }
+
+    fn allocate_large(&self, home: usize, layout: Layout, size: usize) -> Option<NonNull<u8>> {
+        let shards = &self.shared.shards;
+        let (idx, g) = self.lock_large(home);
+        if let Some(p) = Self::large_attempt(&shards[idx], g, layout, size) {
+            return Some(p);
+        }
+        for k in 1..shards.len() {
+            let shard = &shards[(idx + k) % shards.len()];
+            if let Some(p) = Self::large_attempt(shard, lock(&shard.large), layout, size) {
+                return Some(p);
+            }
+        }
+        Counters::add(&shards[home].counters.alloc_count, 1);
+        None
+    }
+
+    /// Frees an allocation made by [`HermesHeap::allocate`], routing the
+    /// pointer back to its owning shard by address range (cross-thread
+    /// frees land on the allocating shard, not the caller's home shard).
     ///
     /// # Safety
     ///
@@ -290,21 +555,31 @@ impl HermesHeap {
     /// and must not have been freed already.
     pub unsafe fn deallocate(&self, ptr: NonNull<u8>, layout: Layout) {
         let _ = layout;
-        Counters::add(&self.shared.counters.free_count, 1);
         let addr = ptr.as_ptr() as usize;
-        if addr >= self.shared.large_range.0 && addr < self.shared.large_range.1 {
-            // SAFETY: pointer belongs to the large arena per range check
-            // and the caller's contract.
-            unsafe { lock(&self.shared.large).pool.free(ptr) }
+        let (idx, is_large) = match self.shared.shard_of(addr) {
+            Some(found) => found,
+            None => {
+                debug_assert!(false, "foreign pointer {addr:#x}");
+                return;
+            }
+        };
+        let shard = &self.shared.shards[idx];
+        Counters::add(&shard.counters.free_count, 1);
+        if is_large {
+            // SAFETY: pointer belongs to this shard's large arena per the
+            // range check and the caller's contract.
+            unsafe { lock(&shard.large).pool.free(ptr) }
         } else {
-            debug_assert!(
-                addr >= self.shared.heap_range.0 && addr < self.shared.heap_range.1,
-                "foreign pointer"
-            );
-            // SAFETY: pointer belongs to the main heap per the contract.
-            unsafe { lock(&self.shared.heap).raw.free(ptr) }
+            // SAFETY: pointer belongs to this shard's main heap.
+            unsafe { lock(&shard.heap).raw.free(ptr) }
         }
     }
+}
+
+/// Splits a total backing capacity across `n` shards, keeping each shard
+/// page-aligned and large enough to be useful (64 pages minimum).
+fn per_shard_capacity(total: usize, n: usize) -> usize {
+    ((total / n) / PAGE * PAGE).max(PAGE * 64)
 }
 
 impl Drop for HermesHeap {
@@ -431,7 +706,7 @@ mod tests {
         h.stop_manager();
         let hs = h.heap_stats();
         assert_eq!(hs.live, 0, "all freed");
-        lock(&h.shared.heap).raw.check_integrity().unwrap();
+        h.check_integrity().unwrap();
     }
 
     #[test]
@@ -447,5 +722,114 @@ mod tests {
             h.deallocate(small, layout(127 * 1024));
             h.deallocate(large, layout(128 * 1024));
         }
+    }
+
+    #[test]
+    fn single_arena_mode_matches_paper_shape() {
+        let h = HermesHeap::new(HermesHeapConfig::small().with_arena_count(1)).unwrap();
+        assert_eq!(h.arena_count(), 1);
+        assert_eq!(h.home_arena(), 0);
+        let p = h.allocate(layout(512)).unwrap();
+        assert_eq!(h.arena_of(p), Some(0));
+        let a = h.arena_stats(0);
+        assert_eq!(a.heap.live, 1);
+        // SAFETY: p live.
+        unsafe { h.deallocate(p, layout(512)) };
+        assert_eq!(h.arena_stats(0).heap.live, 0);
+    }
+
+    #[test]
+    fn frees_route_to_owning_shard() {
+        let h = Arc::new(HermesHeap::new(HermesHeapConfig::small().with_arena_count(4)).unwrap());
+        assert_eq!(h.arena_count(), 4);
+        // Allocate on worker threads (different home shards), free on the
+        // main thread: every free must land on the allocating shard.
+        let ptrs: Vec<(usize, usize)> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    let p = h.allocate(layout(2048)).unwrap();
+                    (p.as_ptr() as usize, h.arena_of(p).unwrap())
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect();
+        let live_before: Vec<usize> = (0..4).map(|i| h.arena_stats(i).heap.live).collect();
+        assert_eq!(live_before.iter().sum::<usize>(), 8);
+        for &(addr, owner) in &ptrs {
+            let p = NonNull::new(addr as *mut u8).unwrap();
+            assert_eq!(h.arena_of(p), Some(owner));
+            // SAFETY: each pointer live exactly once, layout as allocated.
+            unsafe { h.deallocate(p, layout(2048)) };
+        }
+        for i in 0..4 {
+            assert_eq!(h.arena_stats(i).heap.live, 0, "arena {i} drained");
+        }
+        assert_eq!(h.heap_stats().in_use, 0);
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn threads_spread_across_arenas() {
+        let h = Arc::new(HermesHeap::new(HermesHeapConfig::small().with_arena_count(4)).unwrap());
+        let homes: Vec<usize> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || h.home_arena())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect();
+        let distinct: std::collections::HashSet<usize> = homes.iter().copied().collect();
+        assert!(
+            distinct.len() >= 2,
+            "8 threads over 4 arenas use >= 2 distinct homes: {homes:?}"
+        );
+    }
+
+    /// Allocates `count` chunks of `chunk` bytes from a 4×minimum-size
+    /// shard set, asserting the requests spilled across >= 2 arenas and
+    /// drain cleanly.
+    fn exhaustion_spills(chunk: usize, count: usize) -> CountersSnapshot {
+        let cfg = HermesHeapConfig {
+            heap_capacity: PAGE * 64 * 4,
+            large_capacity: PAGE * 64 * 4,
+            arenas: 4,
+            hermes: HermesConfig::default(),
+        };
+        let h = HermesHeap::new(cfg).unwrap();
+        let mut ptrs = Vec::new();
+        for _ in 0..count {
+            ptrs.push(h.allocate(layout(chunk)).expect("fallback serves"));
+        }
+        let used_arenas: std::collections::HashSet<usize> =
+            ptrs.iter().map(|p| h.arena_of(*p).unwrap()).collect();
+        assert!(used_arenas.len() >= 2, "spilled across shards");
+        for p in ptrs {
+            // SAFETY: live.
+            unsafe { h.deallocate(p, layout(chunk)) };
+        }
+        assert_eq!(h.heap_stats().in_use, 0);
+        assert_eq!(h.large_stats().live, 0);
+        h.counters()
+    }
+
+    #[test]
+    fn exhausted_shard_falls_over_to_neighbours_large_path() {
+        // 160 KB > the 128 KB mmap threshold: exercises the large sweep.
+        let c = exhaustion_spills(PAGE * 40, 3);
+        assert_eq!(c.fast_large + c.slow_large, 3, "served by the mmap path");
+    }
+
+    #[test]
+    fn exhausted_shard_falls_over_to_neighbours_small_path() {
+        // 100 KB < the mmap threshold, > a third of the 256 KB shard
+        // heap: one shard cannot hold all four, so the heap-side sweep
+        // must serve from neighbours.
+        let c = exhaustion_spills(PAGE * 25, 4);
+        assert_eq!(c.fast_small + c.slow_small, 4, "served by the heap path");
     }
 }

@@ -1,5 +1,12 @@
 //! Lock-free counters for the real allocator (overhead reporting, §5.5).
+//!
+//! Since the runtime was sharded into per-thread arenas, each arena owns
+//! one [`Counters`] instance; [`CountersSnapshot::accumulate`] and
+//! [`ArenaStats`] provide the merged runtime-wide view and the per-arena
+//! breakdown respectively.
 
+use super::heap::HeapStats;
+use super::large::LargeStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared atomic counters updated by allocation fast paths and the
@@ -83,7 +90,39 @@ impl Counters {
     }
 }
 
+/// One arena's statistics: heap side, mmap side and counters together.
+///
+/// Returned by `HermesHeap::arena_stats`; summing the parts of every
+/// arena (via the `accumulate` methods) yields exactly the merged view
+/// the runtime-wide accessors report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArenaStats {
+    /// Index of the arena within the runtime's shard set.
+    pub index: usize,
+    /// Main-heap statistics of this arena.
+    pub heap: HeapStats,
+    /// Large-path statistics of this arena.
+    pub large: LargeStats,
+    /// Counter snapshot of this arena.
+    pub counters: CountersSnapshot,
+}
+
 impl CountersSnapshot {
+    /// Adds `other` into `self` field-wise; used to merge per-arena
+    /// counters into the runtime-wide view.
+    pub fn accumulate(&mut self, other: &CountersSnapshot) {
+        self.alloc_count += other.alloc_count;
+        self.free_count += other.free_count;
+        self.fast_small += other.fast_small;
+        self.slow_small += other.slow_small;
+        self.fast_large += other.fast_large;
+        self.slow_large += other.slow_large;
+        self.manager_rounds += other.manager_rounds;
+        self.manager_busy_ns += other.manager_busy_ns;
+        self.reserved_bytes += other.reserved_bytes;
+        self.trimmed_bytes += other.trimmed_bytes;
+    }
+
     /// Fraction of small allocations served without any page fault.
     pub fn small_fast_ratio(&self) -> f64 {
         let total = self.fast_small + self.slow_small;

@@ -102,5 +102,5 @@ fn realloc_paths_via_vec_growth() {
     }
     assert_eq!(v[123_456], 123_456);
     v.shrink_to_fit();
-    assert_eq!(v.iter().rev().next(), Some(&199_999));
+    assert_eq!(v.iter().next_back(), Some(&199_999));
 }

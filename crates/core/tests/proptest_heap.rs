@@ -1,9 +1,14 @@
 //! Property tests for the real allocator's heap and large pool: random
 //! alloc/free interleavings never corrupt structure, never hand out
-//! overlapping memory, and always respect alignment.
+//! overlapping memory, always respect alignment — and, for the sharded
+//! front end, always route a free back to the arena that served the
+//! allocation.
 
-use hermes_core::rt::{Arena, LargePool, RawHeap, PAGE};
+use hermes_core::rt::{Arena, HermesHeap, HermesHeapConfig, LargePool, RawHeap, PAGE};
 use proptest::prelude::*;
+use std::alloc::Layout;
+use std::ptr::NonNull;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -114,5 +119,86 @@ proptest! {
         let _ = live_count;
         prop_assert_eq!(pool.stats().live, 0);
         prop_assert_eq!(pool.stats().live_bytes, 0);
+    }
+}
+
+/// Per-arena `alloc_count` snapshot, used to identify the serving shard
+/// without consulting the pointer-range lookup under test.
+fn alloc_counts(heap: &HermesHeap) -> Vec<u64> {
+    (0..heap.arena_count())
+        .map(|i| heap.arena_stats(i).counters.alloc_count)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Free-routing invariant of the sharded runtime: a pointer served by
+    /// shard *i* is routed back to shard *i* by `deallocate`'s
+    /// pointer-range lookup. The serving shard is observed out-of-band
+    /// (exactly one shard's `alloc_count` moves per single-threaded
+    /// allocation); each allocation runs on a fresh thread so affinity
+    /// tickets spread the requests over every shard. Sizes straddle the
+    /// mmap threshold, covering both the heap and large ranges.
+    #[test]
+    fn frees_route_to_serving_shard(
+        arenas in 2usize..7,
+        ops in prop::collection::vec((1usize..400 * 1024, 0usize..8), 1..32),
+    ) {
+        let heap = Arc::new(
+            HermesHeap::new(HermesHeapConfig::small().with_arena_count(arenas)).unwrap(),
+        );
+        prop_assert_eq!(heap.arena_count(), arenas);
+        let mut live: Vec<(usize, Layout, usize)> = Vec::new(); // (addr, layout, shard)
+        for (size, free_sel) in ops {
+            let layout = Layout::from_size_align(size, 16).unwrap();
+            let before = alloc_counts(&heap);
+            let h = Arc::clone(&heap);
+            let addr = std::thread::spawn(move || {
+                h.allocate(layout).map(|p| p.as_ptr() as usize)
+            })
+            .join()
+            .expect("allocator thread");
+            if let Some(addr) = addr {
+                let after = alloc_counts(&heap);
+                let moved: Vec<usize> = (0..arenas).filter(|&i| after[i] != before[i]).collect();
+                prop_assert_eq!(moved.len(), 1, "exactly one serving shard");
+                let serving = moved[0];
+                let p = NonNull::new(addr as *mut u8).unwrap();
+                prop_assert_eq!(
+                    heap.arena_of(p),
+                    Some(serving),
+                    "range lookup names the serving shard"
+                );
+                live.push((addr, layout, serving));
+            }
+            if free_sel % 4 == 0 && !live.is_empty() {
+                let (addr, l, shard) = live.swap_remove(free_sel % live.len());
+                let frees_before = heap.arena_stats(shard).counters.free_count;
+                let p = NonNull::new(addr as *mut u8).unwrap();
+                prop_assert_eq!(heap.arena_of(p), Some(shard), "routing is stable");
+                // SAFETY: removed from the live set; freed exactly once.
+                unsafe { heap.deallocate(p, l) };
+                prop_assert_eq!(
+                    heap.arena_stats(shard).counters.free_count,
+                    frees_before + 1,
+                    "free landed on the owning shard"
+                );
+            }
+        }
+        for (addr, l, shard) in live {
+            let p = NonNull::new(addr as *mut u8).unwrap();
+            prop_assert_eq!(heap.arena_of(p), Some(shard));
+            // SAFETY: still live; freed exactly once.
+            unsafe { heap.deallocate(p, l) };
+        }
+        for i in 0..arenas {
+            let a = heap.arena_stats(i);
+            prop_assert_eq!(a.heap.live, 0, "arena {} heap drained", i);
+            prop_assert_eq!(a.large.live, 0, "arena {} large drained", i);
+            prop_assert_eq!(a.counters.alloc_count, a.counters.free_count);
+        }
+        prop_assert_eq!(heap.heap_stats().in_use, 0);
+        heap.check_integrity().map_err(|e| TestCaseError::fail(format!("integrity: {e}")))?;
     }
 }

@@ -175,8 +175,8 @@ impl OsConfig {
     pub fn paper_node() -> Self {
         OsConfig {
             total_ram: 128 << 30,
-            wm_min_frac: 0.00050, // ~64 MiB of 128 GiB
-            wm_low_frac: 0.00088, // ~115 MiB
+            wm_min_frac: 0.00050,  // ~64 MiB of 128 GiB
+            wm_low_frac: 0.00088,  // ~115 MiB
             wm_high_frac: 0.00107, // ~140 MiB
             kswapd_batch_pages: 512,
             direct_batch_pages: 64,

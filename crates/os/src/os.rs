@@ -616,7 +616,7 @@ impl Os {
         if self.rng.unit() < expected {
             // One page group faults back in through the device queue.
             let cost = self.cfg.costs.swap_in;
-            let group = pages.min(8).max(1);
+            let group = pages.clamp(1, 8);
             let io = self.swap.read_group(now, cost, group);
             let p = self.procs.get_mut(&proc).expect("checked");
             let back = group.min(p.swapped);
@@ -654,7 +654,7 @@ impl Os {
         let cached_frac = f.cached_pages as f64 / f.size_pages.max(1) as f64;
         let hit = (want as f64 * cached_frac) as u64;
         let miss = want - hit;
-        let mut lat = self.per_page_copy * hit.max(0);
+        let mut lat = self.per_page_copy * hit;
         if miss > 0 {
             // Need frames for the new cache pages.
             if self.free_pages < self.cfg.wm_min() + miss {
@@ -664,8 +664,8 @@ impl Os {
             let grant = miss.min(self.free_pages);
             self.free_pages -= grant;
             self.file_cached_pages += grant;
-            let read_ns = (miss as u128 * PAGE_SIZE as u128 * 1_000_000_000)
-                / self.cfg.disk.read_bw as u128;
+            let read_ns =
+                (miss as u128 * PAGE_SIZE as u128 * 1_000_000_000) / self.cfg.disk.read_bw as u128;
             lat += self.cfg.disk.read_setup + SimDuration::from_nanos(read_ns as u64);
             let f = self.files.get_mut(&file).expect("checked");
             f.cached_pages = (f.cached_pages + grant).min(f.size_pages);

@@ -38,7 +38,7 @@ proptest! {
         let mut locked_alloced = 0u64;
         let mut anon_alloced = 0u64;
         for op in ops {
-            now = now + hermes_sim::time::SimDuration::from_micros(50);
+            now += hermes_sim::time::SimDuration::from_micros(50);
             match op {
                 OsOp::Alloc { pages, mlock } => {
                     let path = if mlock { FaultPath::HeapMlock } else { FaultPath::HeapTouch };
@@ -58,7 +58,7 @@ proptest! {
                     let _ = os.fadvise_dontneed(file, now);
                 }
                 OsOp::Advance { ms } => {
-                    now = now + hermes_sim::time::SimDuration::from_millis(ms);
+                    now += hermes_sim::time::SimDuration::from_millis(ms);
                     os.advance_to(now);
                 }
             }

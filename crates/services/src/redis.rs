@@ -155,7 +155,10 @@ mod tests {
         }
         lats.sort_unstable();
         let p90 = lats[lats.len() * 9 / 10];
-        assert!((200..600).contains(&p90), "p90 {p90}us near the paper's 330us SLO scale");
+        assert!(
+            (200..600).contains(&p90),
+            "p90 {p90}us near the paper's 330us SLO scale"
+        );
     }
 
     #[test]

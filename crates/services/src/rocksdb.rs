@@ -79,7 +79,10 @@ impl RocksdbModel {
     ///
     /// Propagates [`MemError`] if the WAL cannot be created.
     pub fn new(alloc: Box<dyn SimAllocator>, seed: u64, os: &mut Os) -> Result<Self, MemError> {
-        let wal = os.create_file(alloc.proc_id(), 0).map(Ok).unwrap_or_else(Err)?;
+        let wal = os
+            .create_file(alloc.proc_id(), 0)
+            .map(Ok)
+            .unwrap_or_else(Err)?;
         Ok(RocksdbModel {
             alloc,
             costs: RocksdbCosts::default(),
@@ -157,7 +160,10 @@ impl Service for RocksdbModel {
         }
         // ---- read ----
         let t_read = now + insert;
-        let mut read = self.costs.lookup.mul_f64(self.rng.tail_multiplier(self.costs.sigma));
+        let mut read = self
+            .costs
+            .lookup
+            .mul_f64(self.rng.tail_multiplier(self.costs.sigma));
         let memtable_frac = if self.stored == 0 {
             1.0
         } else {
@@ -224,7 +230,10 @@ mod tests {
         }
         lats.sort_unstable();
         let p90 = lats[lats.len() * 9 / 10] / 1000;
-        assert!((3..60).contains(&p90), "p90 {p90}us near the paper's 17.6us scale");
+        assert!(
+            (3..60).contains(&p90),
+            "p90 {p90}us near the paper's 17.6us scale"
+        );
     }
 
     #[test]
@@ -265,7 +274,7 @@ mod tests {
             now += q.total();
         }
         assert!(!r.ssts.is_empty(), "flush created SSTs");
-        assert_eq!(r.memtable_bytes < (1 << 20), true);
+        assert!(r.memtable_bytes < (1 << 20));
         assert!(os.file_cached_pages() > 0, "SSTs populate the file cache");
     }
 

@@ -49,7 +49,8 @@ impl Table {
 
     /// Appends one row; the cell count should match the header.
     pub fn row<const N: usize>(&mut self, cells: [&str; N]) -> &mut Self {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -108,10 +109,18 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for r in &self.rows {
-            let _ = writeln!(out, "{}", r.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }

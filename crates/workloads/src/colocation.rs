@@ -39,7 +39,11 @@ impl ColocationConfig {
         record_bytes: usize,
         pressure_level: f64,
     ) -> Self {
-        let queries = if record_bytes >= 64 * 1024 { 4_000 } else { 20_000 };
+        let queries = if record_bytes >= 64 * 1024 {
+            4_000
+        } else {
+            20_000
+        };
         ColocationConfig {
             service,
             allocator,
@@ -135,13 +139,10 @@ pub fn run_colocation(cfg: &ColocationConfig) -> ColocationResult {
                         q.insert += stall;
                         q
                     }
-                    Err(_) => {
-                        let q = QueryLatency {
-                            insert: stall * 3,
-                            read: SimDuration::ZERO,
-                        };
-                        q
-                    }
+                    Err(_) => QueryLatency {
+                        insert: stall * 3,
+                        read: SimDuration::ZERO,
+                    },
                 }
             }
         };
@@ -211,11 +212,7 @@ mod tests {
         let mut r = quick(ServiceKind::Rocksdb, AllocatorKind::Glibc, 0.0, 1024);
         let s = r.totals.summary();
         // Paper's SLO scale: p90 = 17.6 us.
-        assert!(
-            (3_000..80_000).contains(&s.p90.as_nanos()),
-            "p90 {}",
-            s.p90
-        );
+        assert!((3_000..80_000).contains(&s.p90.as_nanos()), "p90 {}", s.p90);
     }
 
     #[test]

@@ -149,9 +149,7 @@ pub fn run_micro(cfg: &MicroConfig) -> MicroResult {
 
     let mut rec = LatencyRecorder::new(format!(
         "{}-{}-{}",
-        cfg.allocator,
-        cfg.scenario,
-        cfg.request_size
+        cfg.allocator, cfg.scenario, cfg.request_size
     ));
     let mut rng = DetRng::new(cfg.seed, "micro-gap");
     let n = (cfg.total_bytes / cfg.request_size).max(1);
@@ -201,8 +199,8 @@ mod tests {
 
     #[test]
     fn dedicated_glibc_magnitudes_match_paper_scale() {
-        let cfg = MicroConfig::paper(AllocatorKind::Glibc, Scenario::Dedicated, 1024)
-            .scaled(SMALL_RUN);
+        let cfg =
+            MicroConfig::paper(AllocatorKind::Glibc, Scenario::Dedicated, 1024).scaled(SMALL_RUN);
         let mut r = run_micro(&cfg);
         let s = r.latencies.summary();
         // Figure 7a: small-request latencies are single-digit microseconds.
@@ -217,15 +215,19 @@ mod tests {
     #[test]
     fn anon_pressure_prolongs_latency_more_than_file() {
         let mk = |sc| {
-            let cfg =
-                MicroConfig::paper(AllocatorKind::Glibc, sc, 1024).scaled(SMALL_RUN);
+            let cfg = MicroConfig::paper(AllocatorKind::Glibc, sc, 1024).scaled(SMALL_RUN);
             run_micro(&cfg).latencies.summary()
         };
         let ded = mk(Scenario::Dedicated);
         let anon = mk(Scenario::AnonPressure);
         let file = mk(Scenario::FilePressure);
         // Figure 3 ordering: anon > file > dedicated.
-        assert!(anon.avg > file.avg, "anon {} vs file {}", anon.avg, file.avg);
+        assert!(
+            anon.avg > file.avg,
+            "anon {} vs file {}",
+            anon.avg,
+            file.avg
+        );
         assert!(file.avg >= ded.avg, "file {} vs ded {}", file.avg, ded.avg);
     }
 
@@ -251,8 +253,8 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_results() {
-        let cfg = MicroConfig::paper(AllocatorKind::Hermes, Scenario::Dedicated, 1024)
-            .scaled(4 << 20);
+        let cfg =
+            MicroConfig::paper(AllocatorKind::Hermes, Scenario::Dedicated, 1024).scaled(4 << 20);
         let a = run_micro(&cfg);
         let b = run_micro(&cfg);
         assert_eq!(a.latencies.samples_ns(), b.latencies.samples_ns());

@@ -29,8 +29,7 @@ pub fn run_sensitivity(
     let glibc = {
         let cfg = MicroConfig {
             seed,
-            ..MicroConfig::paper(AllocatorKind::Glibc, scenario, request_size)
-                .scaled(total_bytes)
+            ..MicroConfig::paper(AllocatorKind::Glibc, scenario, request_size).scaled(total_bytes)
         };
         let mut r = run_micro(&cfg);
         r.latencies.summary()

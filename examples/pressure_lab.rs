@@ -24,11 +24,14 @@ fn main() {
         }
     }
     // The "Hermes w/o rec" variant shows what proactive reclamation adds.
-    let mut norec = MicroConfig::paper(AllocatorKind::Hermes, Scenario::FilePressure, 1024)
-        .scaled(total);
+    let mut norec =
+        MicroConfig::paper(AllocatorKind::Hermes, Scenario::FilePressure, 1024).scaled(total);
     norec.daemon = false;
     let mut r = run_micro(&norec);
-    table.row_vec(summary_row_us("Hermes w/o rec/file", &r.latencies.summary()));
+    table.row_vec(summary_row_us(
+        "Hermes w/o rec/file",
+        &r.latencies.summary(),
+    ));
     print!("{}", table.render());
 
     println!("\nReading the table:");

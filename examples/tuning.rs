@@ -16,16 +16,16 @@ fn main() {
     let total = 64 << 20;
 
     let glibc = {
-        let cfg = MicroConfig::paper(AllocatorKind::Glibc, Scenario::AnonPressure, 1024)
-            .scaled(total);
+        let cfg =
+            MicroConfig::paper(AllocatorKind::Glibc, Scenario::AnonPressure, 1024).scaled(total);
         let mut r = run_micro(&cfg);
         r.latencies.summary()
     };
 
     let mut table = Table::new(["factor", "avg red.", "p99 red.", "reserved-unused"]);
     for &factor in &FACTORS {
-        let mut cfg = MicroConfig::paper(AllocatorKind::Hermes, Scenario::AnonPressure, 1024)
-            .scaled(total);
+        let mut cfg =
+            MicroConfig::paper(AllocatorKind::Hermes, Scenario::AnonPressure, 1024).scaled(total);
         cfg.hermes = HermesConfig::default().with_rsv_factor(factor);
         let mut r = run_micro(&cfg);
         let red = r.latencies.summary().reduction_vs(&glibc);

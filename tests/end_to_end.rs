@@ -33,7 +33,12 @@ fn figure7_shape_hermes_wins_small_requests() {
         let h = micro_summary(AllocatorKind::Hermes, sc, 1024);
         let g = micro_summary(AllocatorKind::Glibc, sc, 1024);
         assert!(h.avg < g.avg, "{sc}: hermes {} < glibc {}", h.avg, g.avg);
-        assert!(h.p99 < g.p99, "{sc}: hermes p99 {} < glibc {}", h.p99, g.p99);
+        assert!(
+            h.p99 < g.p99,
+            "{sc}: hermes p99 {} < glibc {}",
+            h.p99,
+            g.p99
+        );
     }
 }
 
@@ -54,7 +59,10 @@ fn figure8_shape_large_requests_anon_gap_is_biggest() {
     };
     let ded = red(Scenario::Dedicated);
     let anon = red(Scenario::AnonPressure);
-    assert!(anon > ded, "anon reduction {anon:.1}% > dedicated {ded:.1}%");
+    assert!(
+        anon > ded,
+        "anon reduction {anon:.1}% > dedicated {ded:.1}%"
+    );
     assert!(anon > 25.0, "anon reduction substantial: {anon:.1}%");
 }
 

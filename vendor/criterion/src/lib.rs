@@ -115,7 +115,8 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Duration,
     f(&mut b);
     let per_iter = (b.elapsed.as_nanos().max(1) / b.iters.max(1) as u128).max(1);
     let budget_iters = (budget.as_nanos() / per_iter).max(1);
-    let iters_per_sample = (budget_iters / samples.max(1) as u128).clamp(1, u64::MAX as u128) as u64;
+    let iters_per_sample =
+        (budget_iters / samples.max(1) as u128).clamp(1, u64::MAX as u128) as u64;
 
     let mut means = Vec::with_capacity(samples);
     for _ in 0..samples {

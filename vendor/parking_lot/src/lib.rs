@@ -98,7 +98,9 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.0.try_lock() {
             Ok(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
-            Err(TryLockError::Poisoned(e)) => f.debug_tuple("Mutex").field(&&*e.into_inner()).finish(),
+            Err(TryLockError::Poisoned(e)) => {
+                f.debug_tuple("Mutex").field(&&*e.into_inner()).finish()
+            }
             Err(TryLockError::WouldBlock) => f.write_str("Mutex(<locked>)"),
         }
     }

@@ -17,8 +17,7 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         let len = if self.len.start + 1 >= self.len.end {
             self.len.start
         } else {
-            self.len.start
-                + rng.below((self.len.end - self.len.start) as u64) as usize
+            self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize
         };
         (0..len).map(|_| self.element.generate(rng)).collect()
     }

@@ -90,7 +90,9 @@ impl<T> Union<T> {
 
 impl<T> std::fmt::Debug for Union<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Union").field("arms", &self.arms.len()).finish()
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish()
     }
 }
 

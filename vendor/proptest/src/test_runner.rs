@@ -73,7 +73,9 @@ impl TestRng {
             h = h.wrapping_mul(0x100_0000_01b3);
         }
         let state = splitmix(h ^ splitmix(case as u64 + 1));
-        TestRng { state: state.max(1) }
+        TestRng {
+            state: state.max(1),
+        }
     }
 
     /// Next 64 random bits.
