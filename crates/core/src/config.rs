@@ -1,5 +1,6 @@
 //! Hermes configuration knobs (paper §4 defaults).
 
+use std::sync::Once;
 use std::time::Duration;
 
 /// Smallest request size served by the mmap path (Glibc's
@@ -16,20 +17,65 @@ pub const MAX_DEFAULT_ARENAS: usize = 8;
 /// the count by its carve-slice floor, see `rt::global`).
 pub const MAX_ARENAS: usize = 64;
 
+/// Parses a `HERMES_ARENAS` override, clamping to `1..=MAX_ARENAS`.
+/// `None` for unparsable input (empty string, garbage, negative).
+fn parse_arena_count(raw: &str) -> Option<usize> {
+    raw.trim()
+        .parse::<usize>()
+        .ok()
+        .map(|n| n.clamp(1, MAX_ARENAS))
+}
+
+/// Parses an on/off switch such as `HERMES_TCACHE`. Accepts the usual
+/// spellings; `None` for anything else (empty string, garbage).
+fn parse_switch(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "0" | "false" | "off" | "no" => Some(false),
+        "1" | "true" | "on" | "yes" => Some(true),
+        _ => None,
+    }
+}
+
+/// Warns exactly once per knob about an unparsable environment override.
+/// Silently swallowing the value would leave a mistyped deployment knob
+/// (`HERMES_ARENAS=eight`) undetectable in production logs.
+fn warn_invalid(once: &'static Once, var: &str, value: &str, fallback: &str) {
+    once.call_once(|| {
+        eprintln!("hermes: ignoring invalid {var}={value:?}; using {fallback}");
+    });
+}
+
 /// Default number of runtime arenas: `min(ncpus, 8)`, overridable with the
 /// `HERMES_ARENAS` environment variable (values are clamped to
-/// `1..=MAX_ARENAS`; unparsable values fall back to the cpu-derived
-/// default).
+/// `1..=MAX_ARENAS`; unparsable values warn once on stderr and fall back
+/// to the cpu-derived default).
 pub fn default_arena_count() -> usize {
+    static WARN: Once = Once::new();
     if let Ok(v) = std::env::var("HERMES_ARENAS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.clamp(1, MAX_ARENAS);
+        match parse_arena_count(&v) {
+            Some(n) => return n,
+            None => warn_invalid(&WARN, "HERMES_ARENAS", &v, "the cpu-derived default"),
         }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(MAX_DEFAULT_ARENAS)
+}
+
+/// Default state of the thread-local allocation caches: enabled, unless
+/// `HERMES_TCACHE=0` (or `false`/`off`/`no`) disables them — restoring
+/// the PR-3 lock-per-allocation shape. Unparsable values warn once on
+/// stderr and keep the caches enabled.
+pub fn default_tcache_enabled() -> bool {
+    static WARN: Once = Once::new();
+    if let Ok(v) = std::env::var("HERMES_TCACHE") {
+        match parse_switch(&v) {
+            Some(b) => return b,
+            None => warn_invalid(&WARN, "HERMES_TCACHE", &v, "enabled"),
+        }
+    }
+    true
 }
 
 /// Tuning knobs of the Hermes mechanism.
@@ -73,6 +119,15 @@ pub struct HermesConfig {
     /// Delayed shrink of over-sized mmap hand-outs (§3.2.2). `false`
     /// shrinks synchronously on the allocation path; ablation knob.
     pub delayed_shrink: bool,
+    /// Thread-local allocation caches in front of the arena shards
+    /// (`rt::tcache`). `false` restores the PR-3 lock-per-allocation
+    /// shape; default from `HERMES_TCACHE` (enabled unless `=0`).
+    pub tcache: bool,
+    /// Consecutive *quiet* management rounds (no allocation or free
+    /// observed runtime-wide) after which the manager drains every
+    /// registered thread cache back to its shard, so reserved-unused
+    /// accounting does not drift while the service idles.
+    pub tcache_idle_rounds: u32,
 }
 
 impl Default for HermesConfig {
@@ -91,6 +146,8 @@ impl Default for HermesConfig {
             cache_target: 0.03,
             gradual_reservation: true,
             delayed_shrink: true,
+            tcache: default_tcache_enabled(),
+            tcache_idle_rounds: 8,
         }
     }
 }
@@ -107,6 +164,14 @@ impl HermesConfig {
     /// rec" in Figures 7c and 8c).
     pub fn without_proactive_reclaim(mut self) -> Self {
         self.proactive_reclaim = false;
+        self
+    }
+
+    /// Returns a copy with the thread-local caches forced on or off
+    /// (ignoring the `HERMES_TCACHE` environment default) — the axis the
+    /// `contention` bench sweeps.
+    pub fn with_tcache(mut self, enabled: bool) -> Self {
+        self.tcache = enabled;
         self
     }
 
@@ -135,6 +200,9 @@ impl HermesConfig {
         if !(0.0..=1.0).contains(&self.adv_thr) || !(0.0..=1.0).contains(&self.cache_target) {
             return Err("adv_thr and cache_target are fractions in [0, 1]".into());
         }
+        if self.tcache_idle_rounds == 0 {
+            return Err("tcache_idle_rounds must be >= 1 (drain after K quiet rounds)".into());
+        }
         Ok(())
     }
 }
@@ -155,7 +223,48 @@ mod tests {
         assert!(c.proactive_reclaim);
         assert!(c.gradual_reservation);
         assert!(c.delayed_shrink);
+        assert_eq!(c.tcache_idle_rounds, 8);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn arena_count_parsing_rejects_garbage() {
+        // Unparsable overrides must be *detected* (and warned about at the
+        // env-read site), never silently treated as a number.
+        assert_eq!(parse_arena_count(""), None);
+        assert_eq!(parse_arena_count("   "), None);
+        assert_eq!(parse_arena_count("eight"), None);
+        assert_eq!(parse_arena_count("4x"), None);
+        assert_eq!(parse_arena_count("-2"), None);
+        // Valid values parse, trim, and clamp to 1..=MAX_ARENAS.
+        assert_eq!(parse_arena_count("4"), Some(4));
+        assert_eq!(parse_arena_count(" 12 "), Some(12));
+        assert_eq!(parse_arena_count("0"), Some(1));
+        assert_eq!(parse_arena_count("9999"), Some(MAX_ARENAS));
+    }
+
+    #[test]
+    fn tcache_switch_parsing_rejects_garbage() {
+        assert_eq!(parse_switch(""), None);
+        assert_eq!(parse_switch("maybe"), None);
+        assert_eq!(parse_switch("2"), None);
+        for off in ["0", "false", "off", "no", " OFF "] {
+            assert_eq!(parse_switch(off), Some(false), "{off:?}");
+        }
+        for on in ["1", "true", "on", "yes", " On "] {
+            assert_eq!(parse_switch(on), Some(true), "{on:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_override_warning_fires_once() {
+        static ONCE: Once = Once::new();
+        assert!(!ONCE.is_completed());
+        warn_invalid(&ONCE, "HERMES_TEST_KNOB", "junk", "the default");
+        assert!(ONCE.is_completed());
+        // A second invalid value does not warn again (gate is sticky).
+        warn_invalid(&ONCE, "HERMES_TEST_KNOB", "junk2", "the default");
+        assert!(ONCE.is_completed());
     }
 
     #[test]
@@ -164,6 +273,10 @@ mod tests {
         assert_eq!(c.rsv_factor, 0.5);
         let c = HermesConfig::default().without_proactive_reclaim();
         assert!(!c.proactive_reclaim);
+        let c = HermesConfig::default().with_tcache(false);
+        assert!(!c.tcache);
+        let c = HermesConfig::default().with_tcache(true);
+        assert!(c.tcache);
     }
 
     #[test]
@@ -185,6 +298,11 @@ mod tests {
         assert!(c.validate().is_err());
         let c = HermesConfig {
             adv_thr: 1.5,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = HermesConfig {
+            tcache_idle_rounds: 0,
             ..Default::default()
         };
         assert!(c.validate().is_err());

@@ -88,6 +88,30 @@ impl ThresholdTracker {
         self.window.count += 1;
     }
 
+    /// Records `count` requests of `size` bytes each in one call — the
+    /// thread-cache refill path books a whole magazine batch at once so
+    /// Algorithms 1/2 still see the demand that cache hits will absorb
+    /// before the shard lock is ever taken again.
+    pub fn on_request_batch(&mut self, size: usize, count: u64) {
+        self.window.bytes = self
+            .window
+            .bytes
+            .saturating_add(size.saturating_mul(count as usize));
+        self.window.count += count;
+    }
+
+    /// Records the return of `count` blocks of `size` bytes each — the
+    /// thread-cache flush/drain path un-books demand that refills charged
+    /// but the threads never consumed, so the reservation target tracks
+    /// *net* shard demand instead of ratcheting up on churn.
+    pub fn on_return(&mut self, size: usize, count: u64) {
+        self.window.bytes = self
+            .window
+            .bytes
+            .saturating_sub(size.saturating_mul(count as usize));
+        self.window.count = self.window.count.saturating_sub(count);
+    }
+
     /// Demand accumulated in the not-yet-rolled interval.
     pub fn pending(&self) -> IntervalStats {
         self.window
@@ -216,6 +240,27 @@ mod tests {
         let mut t = ThresholdTracker::new(2.0, 5 << 20, 0.5, 2.0, 4096, 1 << 20);
         let th = t.roll_interval();
         assert_eq!(th.tgt_mem, 5 << 20);
+    }
+
+    #[test]
+    fn batch_bookkeeping_matches_singles_and_returns_unbook() {
+        let mut a = tracker();
+        let mut b = tracker();
+        for _ in 0..32 {
+            a.on_request(512);
+        }
+        b.on_request_batch(512, 32);
+        assert_eq!(a.pending(), b.pending());
+        assert_eq!(a.roll_interval(), b.roll_interval());
+        // A flush un-books exactly what a refill charged; net demand for
+        // a refill-then-full-flush interval is zero.
+        let mut t = tracker();
+        t.on_request_batch(512, 32);
+        t.on_return(512, 32);
+        assert_eq!(t.pending(), IntervalStats::default());
+        // Returns never underflow the window (saturating).
+        t.on_return(512, 99);
+        assert_eq!(t.pending(), IntervalStats::default());
     }
 
     #[test]

@@ -352,6 +352,13 @@ impl RawHeap {
         round_up(size.max(1) + HDR, ALIGN).max(MIN_CHUNK)
     }
 
+    /// The boundary-tag chunk size (header included) that a request of
+    /// `size` bytes occupies. Public so embedders — the thread-cache size
+    /// classes and its accounting tests — can reason in chunk units.
+    pub fn request_chunk_size(size: usize) -> usize {
+        Self::request_to_chunk(size)
+    }
+
     /// Allocates `size` bytes (16-byte aligned).
     ///
     /// Returns `None` when the arena is exhausted.
@@ -372,6 +379,96 @@ impl RawHeap {
         }
         // 2. Carve from the top chunk, growing the break if needed.
         self.carve_top(need)
+    }
+
+    /// Allocates up to `out.len()` blocks, each of *exactly* the chunk
+    /// size implied by `size`, writing payload addresses into `out` and
+    /// returning how many were carved (stopping early on exhaustion).
+    ///
+    /// The exactness guarantee is what lets the thread-cache layer account
+    /// cached blocks at class granularity: `malloc` may hand back a chunk
+    /// up to `MIN_CHUNK - ALIGN` bytes larger when splitting the remainder
+    /// off a binned chunk would leave an unusable sliver; this path skips
+    /// such chunks instead. One call means one lock acquisition for the
+    /// whole batch — the amortisation the cache exists for.
+    pub fn malloc_batch(&mut self, size: usize, out: &mut [usize]) -> usize {
+        let need = Self::request_to_chunk(size);
+        let base = self.arena.base().as_ptr() as usize;
+        let mut n = 0;
+        while n < out.len() {
+            // SAFETY: bin contents are valid free chunks by invariant.
+            let payload = unsafe {
+                if let Some(off) = self.bin_take_exact(need) {
+                    self.split_excess(off, self.chunk_size(off), need);
+                    debug_assert_eq!(self.chunk_size(off), need);
+                    self.set_chunk(off, need, true);
+                    self.stats.in_use += need;
+                    self.stats.live += 1;
+                    Some(base + off + HDR)
+                } else {
+                    // Top carves are exact by construction.
+                    self.carve_top(need).map(|p| p.as_ptr() as usize)
+                }
+            };
+            match payload {
+                Some(p) => {
+                    out[n] = p;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Frees a batch of payload addresses under one lock acquisition (the
+    /// thread-cache flush path).
+    ///
+    /// # Safety
+    ///
+    /// Every address must have been returned by this heap's allocation
+    /// methods, be live, and appear at most once in `addrs`.
+    pub unsafe fn free_batch(&mut self, addrs: &[usize]) {
+        for &a in addrs {
+            // SAFETY: per the caller's contract each address heads a live
+            // allocation of this heap.
+            unsafe { self.free(NonNull::new_unchecked(a as *mut u8)) };
+        }
+    }
+
+    /// Exact-fit variant of [`RawHeap::bin_take`]: only returns chunks
+    /// that are either exactly `need` bytes or big enough to split down to
+    /// exactly `need` (`>= need + MIN_CHUNK`). Small bins hold exactly one
+    /// chunk size each, so a whole bin qualifies or is skipped in O(1);
+    /// only the mixed-size large bins are walked.
+    unsafe fn bin_take_exact(&mut self, need: usize) -> Option<usize> {
+        // SAFETY: all offsets in bins are valid free chunks.
+        unsafe {
+            for b in bin_index(need)..NBINS {
+                if b < SMALL_BINS {
+                    let bin_size = MIN_CHUNK + b * ALIGN;
+                    if bin_size != need && bin_size < need + MIN_CHUNK {
+                        continue;
+                    }
+                    let head = self.bins[b];
+                    if head != NIL {
+                        self.bin_unlink(head);
+                        return Some(head);
+                    }
+                    continue;
+                }
+                let mut cur = self.bins[b];
+                while cur != NIL {
+                    let size = self.chunk_size(cur);
+                    if size == need || size >= need + MIN_CHUNK {
+                        self.bin_unlink(cur);
+                        return Some(cur);
+                    }
+                    cur = self.fd(cur);
+                }
+            }
+            None
+        }
     }
 
     unsafe fn bin_take(&mut self, need: usize) -> Option<usize> {
@@ -815,6 +912,65 @@ mod tests {
         h.check_integrity().unwrap();
         assert_eq!(h.stats().live, 0);
         assert_eq!(h.stats().in_use, 0);
+    }
+
+    #[test]
+    fn malloc_batch_carves_exact_chunks() {
+        let mut h = heap(256);
+        let mut out = [0usize; 16];
+        let n = h.malloc_batch(100, &mut out);
+        assert_eq!(n, 16);
+        let need = RawHeap::request_to_chunk(100);
+        let base = h.arena.base().as_ptr() as usize;
+        for &addr in &out {
+            // SAFETY: each address heads a live chunk just carved.
+            let size = unsafe { h.chunk_size(addr - base - HDR) };
+            assert_eq!(size, need, "batch chunks are exactly the class size");
+        }
+        assert_eq!(h.stats().live, 16);
+        assert_eq!(h.stats().in_use, 16 * need);
+        h.check_integrity().unwrap();
+        // SAFETY: all 16 live, each freed once.
+        unsafe { h.free_batch(&out) };
+        assert_eq!(h.stats().live, 0);
+        assert_eq!(h.stats().in_use, 0);
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn malloc_batch_skips_unsplittable_bin_chunks() {
+        let mut h = heap(256);
+        // Bin a 112-byte chunk: an exact-96 batch request must not take it
+        // (112 - 96 = 16 < MIN_CHUNK would strand an oversized chunk in a
+        // 96-byte class), while plain malloc happily would.
+        let odd = h.malloc(96).unwrap(); // chunk 112
+        let _hold = h.malloc(64).unwrap();
+        // SAFETY: odd is live.
+        unsafe { h.free(odd) };
+        assert_eq!(h.stats().binned, 112);
+        let mut out = [0usize; 1];
+        let n = h.malloc_batch(80, &mut out); // chunk 96
+        assert_eq!(n, 1);
+        let base = h.arena.base().as_ptr() as usize;
+        // SAFETY: out[0] heads a live chunk.
+        let size = unsafe { h.chunk_size(out[0] - base - HDR) };
+        assert_eq!(size, 96);
+        assert_eq!(h.stats().binned, 112, "the 112-byte chunk stays binned");
+        // SAFETY: live, freed once.
+        unsafe { h.free_batch(&out) };
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn malloc_batch_stops_at_exhaustion() {
+        let mut h = heap(8);
+        let mut out = [0usize; 64];
+        let n = h.malloc_batch(PAGE, &mut out);
+        assert!(n > 0 && n < 64, "partial batch on a tiny arena: {n}");
+        // SAFETY: exactly the first n are live.
+        unsafe { h.free_batch(&out[..n]) };
+        assert_eq!(h.stats().live, 0);
+        h.check_integrity().unwrap();
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   serialises on one heap lock. It also spawns the **memory management
 //!   thread**, which wakes every `f` ms and runs Algorithm 1/2 *per arena*
 //!   against per-arena demand trackers.
+//! * [`tcache`] — per-thread magazine caches in front of the shards:
+//!   small allocations and same-shard frees are served with no shard lock
+//!   at all, refilling/flushing in batches so the lock is amortised over
+//!   dozens of blocks (`HERMES_TCACHE=0` disables, restoring the
+//!   lock-per-allocation shape).
 //! * [`global::Hermes`] — a zero-sized `#[global_allocator]` facade that
 //!   lazily boots a [`HermesHeap`], carving its static BSS backing into N
 //!   sub-arenas.
@@ -42,6 +47,7 @@ pub mod heap;
 pub mod large;
 mod manager;
 pub mod stats;
+pub mod tcache;
 
 pub use arena::{Arena, ArenaError, PAGE};
 pub use global::Hermes;
@@ -56,8 +62,8 @@ use std::alloc::Layout;
 use std::cell::Cell;
 use std::fmt;
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError, Weak};
 
 /// Sizing of a [`HermesHeap`].
 #[derive(Debug, Clone)]
@@ -188,6 +194,21 @@ pub(crate) struct Shared {
     /// allocation-path counters live on the serving shard.
     pub counters: Counters,
     pub cfg: HermesConfig,
+    /// Process-unique instance id, binding thread-local caches to the
+    /// heap they serve across heap create/drop cycles.
+    pub id: u64,
+    /// Every live thread cache of this runtime, so the manager's idle
+    /// reclaim can drain them remotely (each cache has its own lock).
+    pub tcaches: Mutex<Vec<Weak<tcache::ThreadCache>>>,
+    /// Idle-reclaim bookkeeping: the runtime-wide `alloc + free` op sum
+    /// seen by the last management round, and how many consecutive
+    /// rounds it has been unchanged.
+    pub last_ops: AtomicU64,
+    pub quiet_rounds: AtomicU64,
+    /// Bumped by the manager to request that every thread cache drain
+    /// itself; answered by each owner thread on its next allocator touch
+    /// (see `tcache`).
+    pub reclaim_epoch: AtomicU64,
 }
 
 impl Shared {
@@ -204,6 +225,9 @@ impl Shared {
 /// draws one ticket on its first allocation; `ticket % arenas` is its home
 /// shard in every [`HermesHeap`] instance.
 static NEXT_THREAD_TICKET: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide heap-instance id dispenser (see [`Shared::id`]).
+static NEXT_HEAP_ID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static THREAD_TICKET: Cell<usize> = const { Cell::new(usize::MAX) };
@@ -298,6 +322,11 @@ impl HermesHeap {
             ranges: ranges.into_boxed_slice(),
             counters: Counters::new(),
             cfg,
+            id: NEXT_HEAP_ID.fetch_add(1, Ordering::Relaxed),
+            tcaches: Mutex::new(Vec::new()),
+            last_ops: AtomicU64::new(0),
+            quiet_rounds: AtomicU64::new(0),
+            reclaim_epoch: AtomicU64::new(0),
         });
         HermesHeap {
             shared,
@@ -346,21 +375,34 @@ impl HermesHeap {
         manager::run_round(&self.shared);
     }
 
-    /// Merged counter snapshot across all arenas.
+    /// Merged counter snapshot across all arenas, including the gauges
+    /// and pending hit tallies of every live thread cache.
     pub fn counters(&self) -> CountersSnapshot {
         let mut total = self.shared.counters.snapshot();
         for s in self.shared.shards.iter() {
             total.accumulate(&s.counters.snapshot());
         }
+        let t = tcache::tallies(&self.shared, None);
+        total.cached_bytes += t.bytes;
+        total.cached_blocks += t.blocks;
+        total.tcache_hits += t.hits;
+        total.alloc_count += t.alloc_ops;
+        total.free_count += t.free_ops;
+        total.fast_small += t.fast_ops;
         total
     }
 
     /// Merged main-heap statistics across all arenas.
+    ///
+    /// `in_use` and `live` count memory held by *users*: blocks parked in
+    /// thread caches — in-use from a shard heap's view — are reported as
+    /// reserve instead (see [`HermesHeap::reserved_unused_bytes`]).
     pub fn heap_stats(&self) -> HeapStats {
         let mut total = HeapStats::default();
         for s in self.shared.shards.iter() {
             total.accumulate(&lock(&s.heap).raw.stats());
         }
+        subtract_cached(&mut total, tcache::tallies(&self.shared, None));
         total
     }
 
@@ -380,24 +422,47 @@ impl HermesHeap {
     /// Panics if `index >= self.arena_count()`.
     pub fn arena_stats(&self, index: usize) -> ArenaStats {
         let s = &self.shared.shards[index];
+        let mut heap = lock(&s.heap).raw.stats();
+        let t = tcache::tallies(&self.shared, Some(index));
+        subtract_cached(&mut heap, t);
+        let mut counters = s.counters.snapshot();
+        counters.cached_bytes += t.bytes;
+        counters.cached_blocks += t.blocks;
+        counters.tcache_hits += t.hits;
+        counters.alloc_count += t.alloc_ops;
+        counters.free_count += t.free_ops;
+        counters.fast_small += t.fast_ops;
         ArenaStats {
             index,
-            heap: lock(&s.heap).raw.stats(),
+            heap,
             large: lock(&s.large).pool.stats(),
-            counters: s.counters.snapshot(),
+            counters,
         }
     }
 
     /// Bytes currently reserved-but-unused (the §5.5 overhead metric:
-    /// committed top-chunk reserve plus the segregated pools, summed over
-    /// all arenas).
+    /// committed top-chunk reserve plus the segregated pools plus blocks
+    /// parked in thread caches, summed over all arenas).
     pub fn reserved_unused_bytes(&self) -> usize {
         let mut total = 0;
         for s in self.shared.shards.iter() {
             total += lock(&s.heap).raw.reserve_ready();
             total += lock(&s.large).pool.pool_total();
         }
-        total
+        total + self.cached_bytes()
+    }
+
+    /// Bytes currently parked in thread caches across all arenas.
+    pub fn cached_bytes(&self) -> usize {
+        tcache::tallies(&self.shared, None).bytes as usize
+    }
+
+    /// Flushes the calling thread's cache for this heap back to the
+    /// arena shards (a no-op when none exists). Embedders parking a
+    /// thread for a long time can return its cached blocks early instead
+    /// of waiting for the manager's idle reclaim or thread exit.
+    pub fn drain_thread_cache(&self) {
+        tcache::drain_current_thread(&self.shared);
     }
 
     /// Walks every arena's heap verifying structural invariants.
@@ -419,11 +484,20 @@ impl HermesHeap {
     /// Allocates per `layout`. Returns `None` on arena exhaustion.
     pub fn allocate(&self, layout: Layout) -> Option<NonNull<u8>> {
         let size = layout.size().max(1);
-        let home = self.home_arena();
         if size < self.shared.cfg.mmap_threshold {
-            self.allocate_small(home, layout, size)
+            // Fast path: serve cacheable requests from the thread cache,
+            // no shard lock. Falls through when the cache layer is off,
+            // unavailable, or the home shard cannot refill.
+            if self.shared.cfg.tcache && layout.align() <= heap::ALIGN {
+                if let Some(cls) = tcache::request_class(size) {
+                    if let Some(p) = tcache::allocate(&self.shared, cls) {
+                        return Some(p);
+                    }
+                }
+            }
+            self.allocate_small(self.home_arena(), layout, size)
         } else {
-            self.allocate_large(home, layout, size)
+            self.allocate_large(self.home_arena(), layout, size)
         }
     }
 
@@ -564,6 +638,21 @@ impl HermesHeap {
             }
         };
         let shard = &self.shared.shards[idx];
+        if !is_large && self.shared.cfg.tcache && layout.align() <= heap::ALIGN {
+            // Classify by the *actual* chunk size from the boundary tag.
+            // Reading it without the shard lock is sound: the size word of
+            // a live chunk is written at allocation and untouched until
+            // its free — neighbours only ever write the prev_size word.
+            // SAFETY: per the caller's contract `ptr` heads a live
+            // heap-path allocation, so `ptr - 8` is its size|flags word.
+            let chunk = unsafe { (ptr.as_ptr() as *const usize).sub(1).read() } & !1;
+            if let Some(cls) = tcache::chunk_class(chunk) {
+                if tcache::free(&self.shared, idx, cls, ptr.as_ptr() as usize) {
+                    return;
+                }
+            }
+        }
+        // Bypass path: cross-thread frees, uncacheable sizes, cache off.
         Counters::add(&shard.counters.free_count, 1);
         if is_large {
             // SAFETY: pointer belongs to this shard's large arena per the
@@ -580,6 +669,15 @@ impl HermesHeap {
 /// page-aligned and large enough to be useful (64 pages minimum).
 fn per_shard_capacity(total: usize, n: usize) -> usize {
     ((total / n) / PAGE * PAGE).max(PAGE * 64)
+}
+
+/// Re-books thread-cached blocks from "user-held" to "reserve" in a
+/// [`HeapStats`] view. Saturating: the tallies and the locked stats
+/// snapshot are read at slightly different instants, so a racing pop may
+/// transiently exceed the snapshot.
+fn subtract_cached(stats: &mut HeapStats, t: tcache::CacheTallies) {
+    stats.in_use = stats.in_use.saturating_sub(t.bytes as usize);
+    stats.live = stats.live.saturating_sub(t.blocks as usize);
 }
 
 impl Drop for HermesHeap {
@@ -815,6 +913,129 @@ mod tests {
         assert_eq!(h.heap_stats().in_use, 0);
         assert_eq!(h.large_stats().live, 0);
         h.counters()
+    }
+
+    /// A small config with the thread caches pinned on or off, immune to
+    /// the `HERMES_TCACHE` environment default.
+    fn small_with_tcache(enabled: bool) -> HermesHeapConfig {
+        HermesHeapConfig {
+            hermes: HermesConfig::default().with_tcache(enabled),
+            ..HermesHeapConfig::small()
+        }
+    }
+
+    #[test]
+    fn tcache_serves_second_allocation_from_the_magazine() {
+        let h = HermesHeap::new(small_with_tcache(true).with_arena_count(1)).unwrap();
+        let a = h.allocate(layout(256)).unwrap();
+        // The refill carved a whole batch; all but the served block are
+        // parked in this thread's magazine.
+        let c = h.counters();
+        assert_eq!(c.tcache_refills, 1);
+        assert_eq!(c.cached_blocks, (tcache::TCACHE_BATCH - 1) as u64);
+        assert!(c.cached_bytes > 0);
+        // Free caches the block; the next same-class allocation is a hit.
+        // SAFETY: a live, freed once.
+        unsafe { h.deallocate(a, layout(256)) };
+        let b = h.allocate(layout(256)).unwrap();
+        let c = h.counters();
+        assert_eq!(c.tcache_refills, 1, "no second lock-path refill");
+        assert!(c.tcache_hits >= 1);
+        assert_eq!(c.alloc_count, 2);
+        assert_eq!(c.free_count, 1);
+        // Cached blocks count as reserve, not user memory.
+        assert_eq!(h.heap_stats().live, 1);
+        assert!(h.reserved_unused_bytes() >= h.cached_bytes());
+        // SAFETY: b live, freed once.
+        unsafe { h.deallocate(b, layout(256)) };
+        h.drain_thread_cache();
+        assert_eq!(h.cached_bytes(), 0);
+        assert_eq!(h.heap_stats().live, 0);
+        assert_eq!(h.heap_stats().in_use, 0);
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn tcache_knob_off_restores_lock_path() {
+        let h = HermesHeap::new(small_with_tcache(false)).unwrap();
+        let p = h.allocate(layout(256)).unwrap();
+        // SAFETY: p live, freed once.
+        unsafe { h.deallocate(p, layout(256)) };
+        let c = h.counters();
+        assert_eq!(c.tcache_refills, 0);
+        assert_eq!(c.tcache_hits, 0);
+        assert_eq!(c.cached_blocks, 0);
+        assert_eq!(c.alloc_count, 1);
+        assert_eq!(c.free_count, 1);
+        assert_eq!(h.heap_stats().live, 0);
+    }
+
+    #[test]
+    fn manager_reclaims_caches_after_quiet_rounds() {
+        let mut cfg = small_with_tcache(true).with_arena_count(1);
+        cfg.hermes.tcache_idle_rounds = 2;
+        let h = HermesHeap::new(cfg).unwrap();
+        let a = h.allocate(layout(512)).unwrap();
+        let b = h.allocate(layout(512)).unwrap();
+        // SAFETY: a live, freed once.
+        unsafe { h.deallocate(a, layout(512)) };
+        let populated = h.cached_bytes();
+        assert!(populated > 0, "magazine populated");
+        // Round 1 observes the op-count change and resets; rounds 2-3 are
+        // quiet and the second quiet round requests the reclaim.
+        for _ in 0..3 {
+            h.run_management_round();
+        }
+        // The request is answered on this thread's next allocator touch:
+        // the free below first drains every magazine, then caches its own
+        // block — so exactly one block remains parked afterwards.
+        // SAFETY: b live, freed once.
+        unsafe { h.deallocate(b, layout(512)) };
+        let c = h.counters();
+        assert_eq!(c.cached_blocks, 1, "reclaim drained all but the new free");
+        assert!(c.tcache_flushes > 0, "drain flushed the magazines");
+        assert!(h.cached_bytes() < populated);
+        assert_eq!(h.heap_stats().in_use, 0);
+        assert_eq!(h.heap_stats().live, 0);
+        h.drain_thread_cache();
+        assert_eq!(h.cached_bytes(), 0);
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_free_takes_bypass_and_balances() {
+        let h = Arc::new(HermesHeap::new(small_with_tcache(true).with_arena_count(4)).unwrap());
+        // Allocate a cacheable block on another thread (its cache drains
+        // at thread exit), free it here: the owner shard differs from
+        // this thread's home for at least some of the 8 spawned threads.
+        let ptrs: Vec<(usize, usize)> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    let p = h.allocate(layout(128)).unwrap();
+                    (p.as_ptr() as usize, h.arena_of(p).unwrap())
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect();
+        for &(addr, owner) in &ptrs {
+            let p = NonNull::new(addr as *mut u8).unwrap();
+            let before = h.arena_stats(owner).counters.free_count;
+            // SAFETY: live, freed once, layout as allocated.
+            unsafe { h.deallocate(p, layout(128)) };
+            assert_eq!(
+                h.arena_stats(owner).counters.free_count,
+                before + 1,
+                "free lands on the owning shard, cached or bypassed"
+            );
+        }
+        h.drain_thread_cache();
+        assert_eq!(h.cached_bytes(), 0);
+        assert_eq!(h.heap_stats().live, 0);
+        assert_eq!(h.heap_stats().in_use, 0);
+        h.check_integrity().unwrap();
     }
 
     #[test]

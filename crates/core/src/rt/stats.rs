@@ -34,6 +34,20 @@ pub struct Counters {
     pub reserved_bytes: AtomicU64,
     /// Bytes released by trims.
     pub trimmed_bytes: AtomicU64,
+    /// Allocations served from a warm thread cache. Live caches tally
+    /// hits locally (the warm path performs no shared atomic RMW for
+    /// this); a cache folds its tally in here when drained, and snapshot
+    /// assembly adds the live tallies on top, so the merged counter
+    /// survives thread exits. A snapshot racing a drain's swap-then-add
+    /// can transiently read up to the folded amount low — same class of
+    /// benign skew as the cached-bytes gauges.
+    pub tcache_hits: AtomicU64,
+    /// Thread-cache refill events (one shard-lock acquisition amortised
+    /// over a whole magazine batch).
+    pub tcache_refills: AtomicU64,
+    /// Thread-cache flush events (batch returns on overflow, thread exit
+    /// and idle reclaim).
+    pub tcache_flushes: AtomicU64,
 }
 
 /// A plain snapshot of [`Counters`].
@@ -59,6 +73,19 @@ pub struct CountersSnapshot {
     pub reserved_bytes: u64,
     /// Bytes trimmed back.
     pub trimmed_bytes: u64,
+    /// Warm thread-cache hits.
+    pub tcache_hits: u64,
+    /// Thread-cache refill events.
+    pub tcache_refills: u64,
+    /// Thread-cache flush events.
+    pub tcache_flushes: u64,
+    /// Gauge: bytes currently parked in thread caches for this arena
+    /// (chunk granularity). In-use from the shard heap's view, reserve
+    /// from the runtime's view. Aggregated from the live caches at
+    /// snapshot time (`Counters` itself holds no gauge).
+    pub cached_bytes: u64,
+    /// Gauge: blocks currently parked in thread caches for this arena.
+    pub cached_blocks: u64,
 }
 
 impl Counters {
@@ -86,6 +113,13 @@ impl Counters {
             manager_busy_ns: self.manager_busy_ns.load(Ordering::Relaxed),
             reserved_bytes: self.reserved_bytes.load(Ordering::Relaxed),
             trimmed_bytes: self.trimmed_bytes.load(Ordering::Relaxed),
+            tcache_hits: self.tcache_hits.load(Ordering::Relaxed),
+            tcache_refills: self.tcache_refills.load(Ordering::Relaxed),
+            tcache_flushes: self.tcache_flushes.load(Ordering::Relaxed),
+            // Gauges are magazine-resident; the runtime front end adds
+            // the live-cache tallies when it assembles a snapshot.
+            cached_bytes: 0,
+            cached_blocks: 0,
         }
     }
 }
@@ -121,6 +155,11 @@ impl CountersSnapshot {
         self.manager_busy_ns += other.manager_busy_ns;
         self.reserved_bytes += other.reserved_bytes;
         self.trimmed_bytes += other.trimmed_bytes;
+        self.tcache_hits += other.tcache_hits;
+        self.tcache_refills += other.tcache_refills;
+        self.tcache_flushes += other.tcache_flushes;
+        self.cached_bytes += other.cached_bytes;
+        self.cached_blocks += other.cached_blocks;
     }
 
     /// Fraction of small allocations served without any page fault.

@@ -1,10 +1,14 @@
-//! Multi-threaded stress test for the sharded runtime: 8 threads hammer
+//! Multi-threaded stress tests for the sharded runtime: 8 threads hammer
 //! one [`HermesHeap`] with mixed sizes straddling the mmap threshold,
 //! including *cross-thread* frees (allocations handed to a neighbouring
 //! thread for release), asserting no data corruption and that the merged
 //! statistics balance out — `in_use` returns to 0 once every thread has
-//! joined and every pointer is freed.
+//! joined and every pointer is freed. Run once through the ring topology
+//! with the PR-3 lock path, and once as a producer/consumer pipeline with
+//! the thread caches enabled, where almost every consumer free crosses
+//! shards and must take the cache-bypass path.
 
+use hermes_core::config::HermesConfig;
 use hermes_core::rt::{HermesHeap, HermesHeapConfig};
 use std::alloc::Layout;
 use std::ptr::NonNull;
@@ -44,7 +48,7 @@ fn eight_threads_mixed_sizes_cross_thread_frees() {
             heap_capacity: 128 << 20,
             large_capacity: 256 << 20,
             arenas: 4,
-            hermes: Default::default(),
+            hermes: HermesConfig::default().with_tcache(false),
         })
         .unwrap(),
     );
@@ -133,6 +137,103 @@ fn eight_threads_mixed_sizes_cross_thread_frees() {
         .map(|i| heap.arena_stats(i).counters.alloc_count)
         .sum();
     assert_eq!(per_arena_allocs, c.alloc_count);
+    heap.check_integrity().expect("no structural corruption");
+}
+
+/// Producer/consumer pipeline with the thread caches enabled: 4 producer
+/// threads allocate tagged blocks (mostly cacheable sizes, with a trickle
+/// of uncacheable and large-path ones) and hand *every* block to a paired
+/// consumer thread, which verifies the payload and frees it. A consumer's
+/// home shard usually differs from the block's owning shard, so these
+/// frees exercise the cache-bypass routing; producers churn a small local
+/// set too, so refills, hits and flushes all fire. After every thread has
+/// exited — draining its magazines — the merged statistics must balance.
+#[test]
+fn producer_consumer_cross_thread_frees_with_caches() {
+    const PAIRS: usize = 4;
+    const PC_ROUNDS: usize = 400;
+    let heap = Arc::new(
+        HermesHeap::new(HermesHeapConfig {
+            heap_capacity: 128 << 20,
+            large_capacity: 256 << 20,
+            arenas: 4,
+            hermes: HermesConfig::default().with_tcache(true),
+        })
+        .unwrap(),
+    );
+    heap.start_manager();
+
+    let mut handles = Vec::new();
+    for pair in 0..PAIRS {
+        let (tx, rx) = mpsc::channel::<Block>();
+        let producer = {
+            let heap = Arc::clone(&heap);
+            std::thread::spawn(move || {
+                let mut local: Vec<Block> = Vec::new();
+                for round in 0..PC_ROUNDS {
+                    // Mostly cacheable, every 16th above the 4080 B
+                    // cacheable payload bound (the uncacheable-small
+                    // bypass), every 50th large-path.
+                    let size = match round % 50 {
+                        49 => 200 * 1024,
+                        r if r % 16 == 15 => 5000 + pair * 100,
+                        r => 17 + (round * 37 + pair * 131 + r) % 990,
+                    };
+                    let p = heap.allocate(layout(size, 16)).expect("capacity");
+                    let tag = ((pair as u8) ^ (round as u8)) | 1;
+                    // SAFETY: fresh allocation of `size` bytes.
+                    unsafe { std::ptr::write_bytes(p.as_ptr(), tag, size) };
+                    let block = Block {
+                        addr: p.as_ptr() as usize,
+                        size,
+                        align: 16,
+                        tag,
+                    };
+                    if round % 4 == 3 {
+                        // Local churn: same-shard frees land in this
+                        // thread's magazines and flush on overflow.
+                        local.push(block);
+                        if local.len() > 16 {
+                            free_verified(&heap, local.swap_remove(round % 16));
+                        }
+                    } else {
+                        tx.send(block).expect("consumer alive");
+                    }
+                }
+                for b in local {
+                    free_verified(&heap, b);
+                }
+            })
+        };
+        let consumer = {
+            let heap = Arc::clone(&heap);
+            std::thread::spawn(move || {
+                while let Ok(b) = rx.recv() {
+                    free_verified(&heap, b);
+                }
+            })
+        };
+        handles.push(producer);
+        handles.push(consumer);
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+    heap.stop_manager();
+
+    // Thread exit drained every magazine: no block is parked anywhere.
+    let c = heap.counters();
+    assert_eq!(c.cached_blocks, 0, "magazines drained at thread exit");
+    assert_eq!(c.cached_bytes, 0);
+    assert_eq!(c.alloc_count, (PAIRS * PC_ROUNDS) as u64);
+    assert_eq!(c.free_count, c.alloc_count, "every alloc freed once");
+    assert!(c.tcache_refills > 0, "cache path exercised");
+    let hs = heap.heap_stats();
+    assert_eq!(hs.in_use, 0, "main-heap bytes leak: {hs:?}");
+    assert_eq!(hs.live, 0, "main-heap chunks leak");
+    let ls = heap.large_stats();
+    assert_eq!(ls.live, 0, "large chunks leak");
+    assert_eq!(ls.live_bytes, 0, "large bytes leak");
     heap.check_integrity().expect("no structural corruption");
 }
 
