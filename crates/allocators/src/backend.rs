@@ -1,0 +1,517 @@
+//! The backend-agnostic allocation API: one trait over the simulated
+//! allocator models *and* the real wall-clock runtimes.
+//!
+//! Everything above this crate — services, workloads, benches — drives
+//! allocation through [`AllocatorBackend`]: handle-based
+//! `malloc`/`free`/`realloc`/`access`, `advance`-style background
+//! progress, a uniform [`BackendStats`] snapshot and the typed
+//! [`AllocError`] shared with `hermes_core::rt`. Two families implement
+//! it:
+//!
+//! * [`SimBackend`] — wraps any [`SimAllocator`] model over a shared
+//!   simulated OS ([`SimEnv`]) and a [`VirtualClock`];
+//! * [`crate::real::RealHermesBackend`] / [`crate::real::RealSystemBackend`]
+//!   — real memory, measured with `std::time::Instant` on a
+//!   [`WallClock`].
+//!
+//! # Time convention
+//!
+//! Latencies returned by backend operations *have already elapsed on
+//! the backend's clock*: a sim backend advances its virtual clock by
+//! each latency it reports, and on a wall clock the measured time has
+//! passed by definition. Drivers advance only think time (a no-op in
+//! the wall domain), so the identical driver loop runs in both domains.
+
+use crate::build_allocator;
+use crate::traits::{AllocHandle, AllocatorKind, SimAllocator};
+pub use hermes_core::rt::AllocError;
+use hermes_core::rt::IntegrityError;
+use hermes_core::HermesConfig;
+use hermes_os::prelude::*;
+use hermes_sim::clock::{Clock, ClockHandle, VirtualClock};
+use hermes_sim::time::{SimDuration, SimTime};
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The simulated OS, shared between a driver and every sim backend and
+/// pressure generator of one experiment.
+pub type SharedOs = Arc<Mutex<Os>>;
+
+/// The substrate of one simulated experiment: the OS model plus the
+/// virtual clock every participant advances.
+#[derive(Debug, Clone)]
+pub struct SimEnv {
+    /// The shared kernel model.
+    pub os: SharedOs,
+    /// The shared virtual clock.
+    pub clock: VirtualClock,
+}
+
+impl SimEnv {
+    /// A fresh environment over `cfg`, with the clock at zero.
+    pub fn new(cfg: OsConfig) -> Self {
+        SimEnv {
+            os: Arc::new(Mutex::new(Os::new(cfg))),
+            clock: VirtualClock::new(),
+        }
+    }
+
+    /// Locks the OS (poison-ignoring: the model's state transitions are
+    /// small and a panicking test must not cascade).
+    pub fn os(&self) -> MutexGuard<'_, Os> {
+        self.os.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+}
+
+/// Which backend family and flavour an [`AllocatorBackend`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// A simulated allocator model in virtual time.
+    Sim(AllocatorKind),
+    /// The real Hermes runtime (`hermes_core::rt::HermesHeap`) with its
+    /// live management thread, in wall time.
+    RealHermes,
+    /// The process allocator (`std::alloc`) baseline, in wall time.
+    RealSystem,
+}
+
+impl BackendKind {
+    /// `true` for the wall-clock backends.
+    pub fn is_real(self) -> bool {
+        !matches!(self, BackendKind::Sim(_))
+    }
+
+    /// Stable label used in tables, CSV names and CLI output.
+    pub fn label(self) -> String {
+        match self {
+            BackendKind::Sim(k) => format!("sim:{k}"),
+            BackendKind::RealHermes => "real:hermes".to_string(),
+            BackendKind::RealSystem => "real:system".to_string(),
+        }
+    }
+
+    /// Parses a `--backend` axis value: `sim` (defaults to the Hermes
+    /// model), `sim:<allocator>`, `real` / `real:hermes`, `real:system`.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "sim" | "sim:hermes" => Some(BackendKind::Sim(AllocatorKind::Hermes)),
+            "sim:glibc" => Some(BackendKind::Sim(AllocatorKind::Glibc)),
+            "sim:jemalloc" => Some(BackendKind::Sim(AllocatorKind::Jemalloc)),
+            "sim:tcmalloc" => Some(BackendKind::Sim(AllocatorKind::Tcmalloc)),
+            "real" | "real:hermes" => Some(BackendKind::RealHermes),
+            "real:system" | "real:sys" => Some(BackendKind::RealSystem),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A uniform statistics snapshot across backend families. Counter
+/// fields are monotone over a backend's lifetime; byte fields are
+/// gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BackendStats {
+    /// Allocations served (including failed attempts' successful
+    /// retries, excluding failures).
+    pub alloc_count: u64,
+    /// Frees performed.
+    pub free_count: u64,
+    /// Reallocs performed.
+    pub realloc_count: u64,
+    /// Live handles right now.
+    pub live: u64,
+    /// Bytes held by live handles (request granularity).
+    pub live_bytes: usize,
+    /// Reserved-but-unused bytes (the §5.5 overhead metric; zero for
+    /// baselines without reservation).
+    pub reserved_unused_bytes: usize,
+    /// Cumulative management-thread busy time (zero for baselines).
+    pub management_busy: SimDuration,
+    /// Management rounds executed (real Hermes only).
+    pub manager_rounds: u64,
+}
+
+/// A user-space allocator driven through opaque handles, in either time
+/// domain. See the module docs for the time convention.
+pub trait AllocatorBackend: Send {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// The clock this backend's latencies elapse on. Cloning the handle
+    /// gives the driver the same time base.
+    fn clock(&self) -> ClockHandle;
+
+    /// Allocates `size` bytes and performs the first write (the paper
+    /// measures allocation through data insertion, so mapping
+    /// construction is part of the cost). Returns the handle and the
+    /// latency, which has already elapsed on the clock.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`AllocError`] when the request cannot be served.
+    fn malloc(&mut self, size: usize) -> Result<(AllocHandle, SimDuration), AllocError>;
+
+    /// Frees a live handle; returns the (already elapsed) latency.
+    fn free(&mut self, handle: AllocHandle) -> SimDuration;
+
+    /// Resizes a live allocation, preserving `min(old, new)` bytes of
+    /// content where the domain has real content to preserve. Returns
+    /// the (possibly new) handle and the latency.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`AllocError`]; on error the original handle stays live.
+    fn realloc(
+        &mut self,
+        handle: AllocHandle,
+        new_size: usize,
+    ) -> Result<(AllocHandle, SimDuration), AllocError>;
+
+    /// Touches `bytes` of a live allocation (a service reading its
+    /// data); may stall on swap-in under simulated pressure.
+    fn access(&mut self, handle: AllocHandle, bytes: usize) -> SimDuration;
+
+    /// Fast-forwards background work to the clock's now. A no-op for
+    /// real backends, whose management thread runs for real.
+    fn advance(&mut self);
+
+    /// Statistics snapshot.
+    fn stats(&self) -> BackendStats;
+
+    /// Contention factor the surrounding node imposes on service CPU
+    /// work (1.0 when idle / unknowable).
+    fn contention(&self) -> f64 {
+        1.0
+    }
+
+    /// Walks the backend's heap structures verifying invariants, where
+    /// the backend has real structures to walk.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant.
+    fn check(&self) -> Result<(), IntegrityError> {
+        Ok(())
+    }
+}
+
+/// `Box<dyn AllocatorBackend>` is itself a backend, so generic services
+/// can be built over either a concrete backend or a boxed one.
+impl<B: AllocatorBackend + ?Sized> AllocatorBackend for Box<B> {
+    fn kind(&self) -> BackendKind {
+        (**self).kind()
+    }
+    fn clock(&self) -> ClockHandle {
+        (**self).clock()
+    }
+    fn malloc(&mut self, size: usize) -> Result<(AllocHandle, SimDuration), AllocError> {
+        (**self).malloc(size)
+    }
+    fn free(&mut self, handle: AllocHandle) -> SimDuration {
+        (**self).free(handle)
+    }
+    fn realloc(
+        &mut self,
+        handle: AllocHandle,
+        new_size: usize,
+    ) -> Result<(AllocHandle, SimDuration), AllocError> {
+        (**self).realloc(handle, new_size)
+    }
+    fn access(&mut self, handle: AllocHandle, bytes: usize) -> SimDuration {
+        (**self).access(handle, bytes)
+    }
+    fn advance(&mut self) {
+        (**self).advance()
+    }
+    fn stats(&self) -> BackendStats {
+        (**self).stats()
+    }
+    fn contention(&self) -> f64 {
+        (**self).contention()
+    }
+    fn check(&self) -> Result<(), IntegrityError> {
+        (**self).check()
+    }
+}
+
+/// Maps the simulated kernel's failure vocabulary onto the typed
+/// backend vocabulary (also used by the services' simulated file
+/// store).
+pub fn map_mem_error(e: MemError) -> AllocError {
+    match e {
+        MemError::OutOfMemory | MemError::SwapFull => AllocError::Exhausted,
+        MemError::UnknownProcess => AllocError::UnregisteredThread,
+        // A file error cannot reach the allocation path; treat it as
+        // exhaustion rather than panicking in release.
+        MemError::UnknownFile => AllocError::Exhausted,
+    }
+}
+
+/// Adapter: any [`SimAllocator`] model as an [`AllocatorBackend`] over
+/// a [`SimEnv`].
+pub struct SimBackend {
+    alloc: Box<dyn SimAllocator>,
+    os: SharedOs,
+    clock: VirtualClock,
+    sizes: std::collections::HashMap<AllocHandle, usize>,
+    allocs: u64,
+    frees: u64,
+    reallocs: u64,
+    live_bytes: usize,
+}
+
+impl fmt::Debug for SimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimBackend")
+            .field("kind", &self.kind())
+            .field("live", &self.sizes.len())
+            .finish()
+    }
+}
+
+impl SimBackend {
+    /// Builds the `kind` model over `env`, registering a new
+    /// latency-critical process with the simulated OS.
+    pub fn new(kind: AllocatorKind, env: &SimEnv, seed: u64, cfg: &HermesConfig) -> Self {
+        let alloc = build_allocator(kind, &mut env.os(), seed, cfg);
+        SimBackend {
+            alloc,
+            os: Arc::clone(&env.os),
+            clock: env.clock.clone(),
+            sizes: std::collections::HashMap::new(),
+            allocs: 0,
+            frees: 0,
+            reallocs: 0,
+            live_bytes: 0,
+        }
+    }
+
+    /// The simulated process this backend's allocator belongs to.
+    pub fn proc_id(&self) -> ProcId {
+        self.alloc.proc_id()
+    }
+
+    fn lock_os(&self) -> MutexGuard<'_, Os> {
+        self.os.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl AllocatorBackend for SimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sim(self.alloc.kind())
+    }
+
+    fn clock(&self) -> ClockHandle {
+        ClockHandle::Virtual(self.clock.clone())
+    }
+
+    fn malloc(&mut self, size: usize) -> Result<(AllocHandle, SimDuration), AllocError> {
+        let now = self.clock.now();
+        let (h, lat) = {
+            let mut os = self.os.lock().unwrap_or_else(|e| e.into_inner());
+            self.alloc
+                .malloc(size, now, &mut os)
+                .map_err(map_mem_error)?
+        };
+        self.clock.advance(lat);
+        self.allocs += 1;
+        self.live_bytes += size;
+        self.sizes.insert(h, size);
+        Ok((h, lat))
+    }
+
+    fn free(&mut self, handle: AllocHandle) -> SimDuration {
+        let now = self.clock.now();
+        let lat = {
+            let mut os = self.os.lock().unwrap_or_else(|e| e.into_inner());
+            self.alloc.free(handle, now, &mut os)
+        };
+        self.clock.advance(lat);
+        self.frees += 1;
+        if let Some(size) = self.sizes.remove(&handle) {
+            self.live_bytes -= size;
+        }
+        lat
+    }
+
+    fn realloc(
+        &mut self,
+        handle: AllocHandle,
+        new_size: usize,
+    ) -> Result<(AllocHandle, SimDuration), AllocError> {
+        // The models expose no native realloc; compose it the way a
+        // libc shim would: allocate, copy (modelled as touching the old
+        // allocation), free.
+        let old_size = self.sizes.get(&handle).copied().unwrap_or(0);
+        let (new_handle, alloc_lat) = self.malloc(new_size)?;
+        let copy_lat = self.access(handle, old_size.min(new_size));
+        let free_lat = self.free(handle);
+        self.reallocs += 1;
+        Ok((new_handle, alloc_lat + copy_lat + free_lat))
+    }
+
+    fn access(&mut self, handle: AllocHandle, bytes: usize) -> SimDuration {
+        let now = self.clock.now();
+        let lat = {
+            let mut os = self.os.lock().unwrap_or_else(|e| e.into_inner());
+            self.alloc.access(handle, bytes, now, &mut os)
+        };
+        self.clock.advance(lat);
+        lat
+    }
+
+    fn advance(&mut self) {
+        let now = self.clock.now();
+        let mut os = self.os.lock().unwrap_or_else(|e| e.into_inner());
+        self.alloc.advance_to(now, &mut os);
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            alloc_count: self.allocs,
+            free_count: self.frees,
+            realloc_count: self.reallocs,
+            live: self.sizes.len() as u64,
+            live_bytes: self.live_bytes,
+            reserved_unused_bytes: self.alloc.reserved_unused(),
+            management_busy: self.alloc.management_busy(),
+            manager_rounds: 0,
+        }
+    }
+
+    fn contention(&self) -> f64 {
+        self.lock_os().service_contention()
+    }
+}
+
+/// Why a backend could not be built.
+#[derive(Debug)]
+pub enum BuildError {
+    /// A simulated backend was requested without a [`SimEnv`].
+    NeedsSimEnv,
+    /// The real Hermes runtime could not reserve its arenas.
+    Arena(hermes_core::rt::ArenaError),
+    /// Service-side set-up (e.g. WAL creation) failed.
+    Alloc(AllocError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NeedsSimEnv => write!(f, "sim backend requires a SimEnv"),
+            BuildError::Arena(e) => write!(f, "arena reservation failed: {e}"),
+            BuildError::Alloc(e) => write!(f, "set-up allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<hermes_core::rt::ArenaError> for BuildError {
+    fn from(e: hermes_core::rt::ArenaError) -> Self {
+        BuildError::Arena(e)
+    }
+}
+
+impl From<AllocError> for BuildError {
+    fn from(e: AllocError) -> Self {
+        BuildError::Alloc(e)
+    }
+}
+
+/// Builds a boxed backend of the requested kind. Sim backends need the
+/// experiment's [`SimEnv`]; real backends ignore it.
+///
+/// # Errors
+///
+/// [`BuildError::NeedsSimEnv`] for a sim kind without an environment;
+/// [`BuildError::Arena`] when the real runtime cannot reserve backing.
+pub fn build_backend(
+    kind: BackendKind,
+    env: Option<&SimEnv>,
+    seed: u64,
+    cfg: &HermesConfig,
+) -> Result<Box<dyn AllocatorBackend>, BuildError> {
+    Ok(match kind {
+        BackendKind::Sim(k) => {
+            let env = env.ok_or(BuildError::NeedsSimEnv)?;
+            Box::new(SimBackend::new(k, env, seed, cfg))
+        }
+        BackendKind::RealHermes => Box::new(crate::real::RealHermesBackend::new(cfg.clone())?),
+        BackendKind::RealSystem => Box::new(crate::real::RealSystemBackend::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_parse_and_label_round_trip() {
+        for (s, k) in [
+            ("sim", BackendKind::Sim(AllocatorKind::Hermes)),
+            ("sim:glibc", BackendKind::Sim(AllocatorKind::Glibc)),
+            ("sim:jemalloc", BackendKind::Sim(AllocatorKind::Jemalloc)),
+            ("sim:tcmalloc", BackendKind::Sim(AllocatorKind::Tcmalloc)),
+            ("real", BackendKind::RealHermes),
+            ("real:hermes", BackendKind::RealHermes),
+            ("real:system", BackendKind::RealSystem),
+        ] {
+            assert_eq!(BackendKind::parse(s), Some(k), "{s}");
+        }
+        assert_eq!(BackendKind::parse("bogus"), None);
+        assert_eq!(BackendKind::RealHermes.label(), "real:hermes");
+        assert!(BackendKind::RealHermes.is_real());
+        assert!(!BackendKind::Sim(AllocatorKind::Hermes).is_real());
+        assert_eq!(
+            BackendKind::parse(&BackendKind::Sim(AllocatorKind::Glibc).label()),
+            Some(BackendKind::Sim(AllocatorKind::Glibc))
+        );
+    }
+
+    #[test]
+    fn sim_backend_advances_the_shared_clock() {
+        let env = SimEnv::new(OsConfig::small_test_node());
+        let mut b = SimBackend::new(AllocatorKind::Glibc, &env, 3, &HermesConfig::default());
+        assert_eq!(env.now(), SimTime::ZERO);
+        let (h, lat) = b.malloc(4096).unwrap();
+        assert!(lat > SimDuration::ZERO);
+        assert_eq!(env.now(), SimTime::ZERO + lat, "latency elapsed on clock");
+        let free_lat = b.free(h);
+        assert_eq!(env.now(), SimTime::ZERO + lat + free_lat);
+        let s = b.stats();
+        assert_eq!((s.alloc_count, s.free_count, s.live), (1, 1, 0));
+    }
+
+    #[test]
+    fn sim_backend_maps_unknown_process_to_unregistered_thread() {
+        let env = SimEnv::new(OsConfig::small_test_node());
+        let mut b = SimBackend::new(AllocatorKind::Glibc, &env, 3, &HermesConfig::default());
+        let proc = b.proc_id();
+        env.os().remove_process(proc);
+        match b.malloc(1024) {
+            Err(AllocError::UnregisteredThread) => {}
+            other => panic!("expected UnregisteredThread, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_backend_requires_env_for_sims() {
+        let cfg = HermesConfig::default();
+        match build_backend(BackendKind::Sim(AllocatorKind::Glibc), None, 1, &cfg) {
+            Err(BuildError::NeedsSimEnv) => {}
+            other => panic!("expected NeedsSimEnv, got {:?}", other.map(|_| ())),
+        }
+    }
+}

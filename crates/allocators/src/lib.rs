@@ -17,22 +17,36 @@
 //!
 //! All models implement [`SimAllocator`]; experiments drive them through
 //! trait objects built by [`build_allocator`].
+//!
+//! Above the models sits the **backend-agnostic API** ([`backend`]):
+//! the [`AllocatorBackend`] trait unifies the four sim models (via
+//! [`SimBackend`]) with two *real* wall-clock backends — the actual
+//! Hermes runtime ([`RealHermesBackend`]) and the process allocator
+//! ([`RealSystemBackend`]) — so every service and workload runs on
+//! simulated and real memory through one code path.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod costs;
 pub mod daemon_sim;
 pub mod glibc;
 pub mod heap_model;
 pub mod hermes;
 pub mod jemalloc;
+pub mod real;
 pub mod tcmalloc;
 pub mod traits;
 
+pub use backend::{
+    build_backend, AllocError, AllocatorBackend, BackendKind, BackendStats, BuildError, SharedOs,
+    SimBackend, SimEnv,
+};
 pub use daemon_sim::MonitorDaemonSim;
 pub use glibc::GlibcSim;
 pub use hermes::HermesSim;
 pub use jemalloc::JemallocSim;
+pub use real::{RealHermesBackend, RealSystemBackend};
 pub use tcmalloc::TcmallocSim;
 pub use traits::{AllocHandle, AllocatorKind, SimAllocator};
 

@@ -53,7 +53,11 @@ pub struct AllocHandle(pub u64);
 /// return the latency the calling thread experiences. Implementations
 /// fast-forward their background activity (management threads, decay
 /// purging) before serving the foreground operation.
-pub trait SimAllocator {
+///
+/// `Send` is required so the [`crate::backend::SimBackend`] adapter —
+/// which owns one of these behind the backend-agnostic API — can move
+/// between threads like the real backends do.
+pub trait SimAllocator: Send {
     /// Which model this is.
     fn kind(&self) -> AllocatorKind;
 

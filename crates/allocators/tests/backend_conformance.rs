@@ -1,0 +1,172 @@
+//! Backend conformance: one shared suite instantiated against every
+//! `AllocatorBackend` implementation — the four sim adapters and both
+//! real wall-clock backends. Any new backend gets the same contract
+//! checks for free by joining `all_backends`.
+
+use hermes_allocators::{
+    AllocError, AllocatorBackend, AllocatorKind, BackendKind, RealHermesBackend, RealSystemBackend,
+    SimBackend, SimEnv,
+};
+use hermes_core::rt::HermesHeapConfig;
+use hermes_core::HermesConfig;
+use hermes_os::config::OsConfig;
+use hermes_sim::time::SimDuration;
+
+/// Builds one instance of every backend implementation. Each sim
+/// adapter gets its own environment; the `SimEnv` handles are kept
+/// alive inside the backend via `Arc`, so dropping the locals is fine.
+fn all_backends() -> Vec<Box<dyn AllocatorBackend>> {
+    let cfg = HermesConfig::default();
+    let mut out: Vec<Box<dyn AllocatorBackend>> = Vec::new();
+    for kind in AllocatorKind::ALL {
+        let env = SimEnv::new(OsConfig::small_test_node());
+        out.push(Box::new(SimBackend::new(kind, &env, 11, &cfg)));
+    }
+    out.push(Box::new(
+        RealHermesBackend::with_heap_config(HermesHeapConfig::small()).expect("arena reservation"),
+    ));
+    out.push(Box::new(RealSystemBackend::new()));
+    out
+}
+
+#[test]
+fn malloc_free_round_trips() {
+    for mut b in all_backends() {
+        let label = b.kind().label();
+        for size in [1usize, 64, 1024, 64 * 1024, 200 * 1024] {
+            let (h, lat) = b
+                .malloc(size)
+                .unwrap_or_else(|e| panic!("{label}: malloc({size}) failed: {e}"));
+            assert!(
+                lat > SimDuration::ZERO,
+                "{label}: malloc({size}) reports a positive latency"
+            );
+            let _ = b.access(h, size);
+            b.free(h);
+        }
+        let s = b.stats();
+        assert_eq!(s.live, 0, "{label}: everything freed");
+        assert_eq!(s.live_bytes, 0, "{label}: no bytes held");
+        assert_eq!(s.alloc_count, 5, "{label}");
+        assert_eq!(s.free_count, 5, "{label}");
+        b.check().unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn realloc_round_trips_and_counts() {
+    for mut b in all_backends() {
+        let label = b.kind().label();
+        let (h, _) = b.malloc(100).unwrap();
+        let (h, _) = b
+            .realloc(h, 10_000)
+            .unwrap_or_else(|e| panic!("{label}: grow failed: {e}"));
+        let (h, _) = b
+            .realloc(h, 50)
+            .unwrap_or_else(|e| panic!("{label}: shrink failed: {e}"));
+        b.free(h);
+        let s = b.stats();
+        assert_eq!(s.live, 0, "{label}: realloc chain fully retired");
+        assert_eq!(s.realloc_count, 2, "{label}");
+        assert_eq!(s.alloc_count, s.free_count, "{label}: allocs balance frees");
+    }
+}
+
+#[test]
+fn stats_counters_are_monotone() {
+    for mut b in all_backends() {
+        let label = b.kind().label();
+        let mut prev = b.stats();
+        let mut live = Vec::new();
+        for i in 0..32usize {
+            if i % 3 == 2 {
+                if let Some(h) = live.pop() {
+                    b.free(h);
+                }
+            } else {
+                live.push(b.malloc(512 + i * 64).unwrap().0);
+            }
+            b.advance();
+            let s = b.stats();
+            assert!(s.alloc_count >= prev.alloc_count, "{label}: alloc_count");
+            assert!(s.free_count >= prev.free_count, "{label}: free_count");
+            assert!(
+                s.realloc_count >= prev.realloc_count,
+                "{label}: realloc_count"
+            );
+            assert_eq!(
+                s.live as usize,
+                live.len(),
+                "{label}: live gauge tracks handles"
+            );
+            prev = s;
+        }
+        for h in live {
+            b.free(h);
+        }
+    }
+}
+
+#[test]
+fn cross_thread_free_lands_on_the_owner() {
+    // Allocate on this thread, move the backend (handles are plain
+    // ids), free on another: the free must route back to whatever owns
+    // the memory — Hermes' shard range table, the sims' OS model — and
+    // leave the stats balanced.
+    for mut b in all_backends() {
+        let label = b.kind().label();
+        let (h, _) = b.malloc(2048).unwrap();
+        let b = std::thread::spawn(move || {
+            b.free(h);
+            b
+        })
+        .join()
+        .unwrap_or_else(|_| panic!("{label}: freeing thread panicked"));
+        let s = b.stats();
+        assert_eq!(s.live, 0, "{label}");
+        assert_eq!(s.free_count, 1, "{label}");
+        b.check().unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn free_of_unknown_handle_is_a_safe_noop_for_real_backends() {
+    for kind in [BackendKind::RealHermes, BackendKind::RealSystem] {
+        let mut b: Box<dyn AllocatorBackend> = match kind {
+            BackendKind::RealHermes => {
+                Box::new(RealHermesBackend::with_heap_config(HermesHeapConfig::small()).unwrap())
+            }
+            _ => Box::new(RealSystemBackend::new()),
+        };
+        let bogus = hermes_allocators::AllocHandle(12345);
+        assert_eq!(b.free(bogus), SimDuration::ZERO, "{kind}");
+        assert_eq!(b.stats().free_count, 0, "{kind}: nothing was freed");
+    }
+}
+
+#[test]
+fn oversized_requests_fail_typed_on_real_backends() {
+    let mut hermes = RealHermesBackend::with_heap_config(HermesHeapConfig::small()).unwrap();
+    match hermes.malloc(1 << 40) {
+        Err(AllocError::Oversized { requested, .. }) => assert_eq!(requested, 1 << 40),
+        other => panic!("real:hermes expected Oversized, got {other:?}"),
+    }
+    let mut system = RealSystemBackend::new();
+    match system.malloc(isize::MAX as usize) {
+        Err(AllocError::Oversized { .. }) => {}
+        other => panic!("real:system expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn clock_domains_match_backend_families() {
+    use hermes_sim::clock::Clock;
+    for b in all_backends() {
+        let kind = b.kind();
+        assert_eq!(
+            b.clock().is_virtual(),
+            !kind.is_real(),
+            "{kind}: clock domain matches the backend family"
+        );
+    }
+}

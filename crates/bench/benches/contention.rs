@@ -13,7 +13,7 @@
 //! threads × tcache median-ns/op summary that CI's `bench-smoke` job
 //! uploads on every PR, extending the performance trajectory.
 
-use hermes_bench::{full_scale, header, results_dir, Checks};
+use hermes_bench::{full_scale, header, results_dir, write_bench_pr_section, Checks};
 use hermes_core::config::HermesConfig;
 use hermes_core::rt::{HermesHeap, HermesHeapConfig};
 use std::alloc::Layout;
@@ -365,8 +365,10 @@ fn main() {
     checks.finish();
 }
 
-/// Writes `results/BENCH_PR.json` by hand (no serde in the workspace):
-/// one series entry per (threads, tcache) cell at `MULTI_ARENAS` arenas.
+/// Writes this bench's section of `results/BENCH_PR.json` by hand (no
+/// serde in the workspace): one series entry per (threads, tcache) cell
+/// at `MULTI_ARENAS` arenas. Other benches' sections are preserved by
+/// the fragment merge in [`write_bench_pr_section`].
 fn write_bench_pr_json(cells: &[Cell], sharding_speedup: f64, tcache_speedup: f64) {
     let mut series = String::new();
     for (i, c) in cells
@@ -388,14 +390,8 @@ fn write_bench_pr_json(cells: &[Cell], sharding_speedup: f64, tcache_speedup: f6
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"contention\",\n  \"arenas\": {MULTI_ARENAS},\n  \"reps\": {REPS},\n  \"ops_per_cell\": {},\n  \"series\": [\n{series}\n  ],\n  \"paired_median_speedup\": {{\"sharding_4plus_threads\": {sharding_speedup:.4}, \"tcache_4plus_threads\": {tcache_speedup:.4}}}\n}}\n",
+        "{{\n  \"arenas\": {MULTI_ARENAS},\n  \"reps\": {REPS},\n  \"ops_per_cell\": {},\n  \"series\": [\n{series}\n  ],\n  \"paired_median_speedup\": {{\"sharding_4plus_threads\": {sharding_speedup:.4}, \"tcache_4plus_threads\": {tcache_speedup:.4}}}\n}}\n",
         total_ops(),
     );
-    let path = results_dir().join("BENCH_PR.json");
-    if std::fs::create_dir_all(results_dir())
-        .and_then(|()| std::fs::write(&path, json))
-        .is_ok()
-    {
-        println!("json: {}", path.display());
-    }
+    write_bench_pr_section("contention", &json);
 }

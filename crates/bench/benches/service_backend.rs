@@ -1,0 +1,151 @@
+//! Service latency across allocation backends: the paper's Redis/RocksDB
+//! query path driven over the simulated allocator models *and* the real
+//! runtimes through the one `AllocatorBackend` API.
+//!
+//! `HERMES_BACKEND` picks the axis (`sim` default, `real` adds the
+//! wall-clock backends); `repro_all --backend {sim,real}` sets it. Real
+//! rows are the repo's first genuine p99/p99.9 service-latency numbers:
+//! `real:hermes` runs the actual arenas, thread caches and management
+//! thread; `real:system` is the `std::alloc` baseline. Sim and real
+//! rows are not comparable in absolute terms (model constants vs a
+//! shared CI host) — the claim checked here is per-domain: Hermes keeps
+//! the service's allocation tail no worse than its domain baseline.
+
+use hermes_allocators::{AllocatorKind, BackendKind};
+use hermes_bench::{header, queries_small, write_bench_pr_section, Checks};
+use hermes_services::ServiceKind;
+use hermes_sim::report::Table;
+use hermes_workloads::{run_service_latency, ServiceLatencyRun};
+
+fn backends() -> Vec<BackendKind> {
+    let mode = std::env::var("HERMES_BACKEND").unwrap_or_else(|_| "sim".into());
+    match mode.as_str() {
+        "real" | "real:hermes" | "real:system" => vec![
+            BackendKind::Sim(AllocatorKind::Glibc),
+            BackendKind::Sim(AllocatorKind::Hermes),
+            BackendKind::RealSystem,
+            BackendKind::RealHermes,
+        ],
+        _ => vec![
+            BackendKind::Sim(AllocatorKind::Glibc),
+            BackendKind::Sim(AllocatorKind::Hermes),
+        ],
+    }
+}
+
+struct Row {
+    service: ServiceKind,
+    run: ServiceLatencyRun,
+}
+
+fn main() {
+    header(
+        "service-backend",
+        "service p50/p99/p99.9 across sim and real backends (1 KB records)",
+    );
+    let backends = backends();
+    println!(
+        "backend axis: {} (HERMES_BACKEND={})",
+        backends
+            .iter()
+            .map(|b| b.label())
+            .collect::<Vec<_>>()
+            .join(", "),
+        std::env::var("HERMES_BACKEND").unwrap_or_else(|_| "unset".into()),
+    );
+    let queries = (queries_small() / 4).max(500);
+    let mut rows = Vec::new();
+    for service in ServiceKind::ALL {
+        for &backend in &backends {
+            let run = run_service_latency(backend, service, queries, 1024, 42);
+            rows.push(Row { service, run });
+        }
+    }
+
+    let mut t = Table::new([
+        "service",
+        "backend",
+        "p50(us)",
+        "p99(us)",
+        "p99.9(us)",
+        "rsv(KB)",
+    ]);
+    for r in &rows {
+        t.row_vec(vec![
+            r.service.name().to_string(),
+            r.run.backend.label(),
+            format!("{:.1}", r.run.p50.as_nanos() as f64 / 1e3),
+            format!("{:.1}", r.run.p99.as_nanos() as f64 / 1e3),
+            format!("{:.1}", r.run.p999.as_nanos() as f64 / 1e3),
+            format!("{}", r.run.reserved_unused_bytes / 1024),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let mut checks = Checks::new();
+    let find = |rows: &[Row], s: ServiceKind, b: BackendKind| -> Option<(u64, usize)> {
+        rows.iter()
+            .find(|r| r.service == s && r.run.backend == b)
+            .map(|r| (r.run.p99.as_nanos(), r.run.reserved_unused_bytes))
+    };
+    for service in ServiceKind::ALL {
+        if let (Some((h, rsv)), Some((g, _))) = (
+            find(&rows, service, BackendKind::Sim(AllocatorKind::Hermes)),
+            find(&rows, service, BackendKind::Sim(AllocatorKind::Glibc)),
+        ) {
+            checks.check(
+                &format!("{service} sim: Hermes p99 <= 1.2x Glibc"),
+                "paper: Hermes tail no worse dedicated",
+                &format!("{h} vs {g} ns"),
+                h <= g + g / 5,
+            );
+            checks.check(
+                &format!("{service} sim: Hermes holds reserve"),
+                "> 0 bytes",
+                &format!("{rsv} B"),
+                rsv > 0,
+            );
+        }
+        if let (Some((h, rsv)), Some((s, _))) = (
+            find(&rows, service, BackendKind::RealHermes),
+            find(&rows, service, BackendKind::RealSystem),
+        ) {
+            checks.check(
+                &format!("{service} real: p99s are finite"),
+                "both > 0",
+                &format!("hermes {h} vs system {s} ns"),
+                h > 0 && s > 0,
+            );
+            checks.check(
+                &format!("{service} real: Hermes holds reserve"),
+                "> 0 bytes",
+                &format!("{rsv} B"),
+                rsv > 0,
+            );
+        }
+    }
+    checks.finish();
+
+    // BENCH_PR.json rows: one entry per (service, backend).
+    let mut series = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            series.push_str(",\n");
+        }
+        series.push_str(&format!(
+            "    {{\"service\": \"{}\", \"backend\": \"{}\", \"queries\": {queries}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"reserved_unused_bytes\": {}}}",
+            r.service.name(),
+            r.run.backend.label(),
+            r.run.p50.as_nanos(),
+            r.run.p99.as_nanos(),
+            r.run.p999.as_nanos(),
+            r.run.reserved_unused_bytes,
+        ));
+    }
+    let json = format!("{{\n  \"record_bytes\": 1024,\n  \"series\": [\n{series}\n  ]\n}}\n");
+    write_bench_pr_section("service_backend", &json);
+
+    if checks.failed() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -111,6 +111,57 @@ pub fn pct(x: f64) -> String {
     format!("{x:.1}%")
 }
 
+/// Writes one bench's summary into `results/BENCH_PR.json` without
+/// clobbering other benches' rows: each bench stores its JSON object as
+/// a fragment under `results/bench_pr/<name>.json`, and the merged
+/// top-level object (`{"<name>": {...}, ...}`) is reassembled from all
+/// fragments on every call. Idempotent per bench — re-running replaces
+/// that bench's section only.
+///
+/// `json_object` must be a valid JSON object literal (the workspace has
+/// no serde; writers format by hand as before).
+pub fn write_bench_pr_section(name: &str, json_object: &str) {
+    let dir = results_dir().join("bench_pr");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let frag = dir.join(format!("{name}.json"));
+    if std::fs::write(&frag, json_object).is_err() {
+        eprintln!("warning: could not write {}", frag.display());
+        return;
+    }
+    // Reassemble the merged file from every fragment, sorted by name so
+    // the output is stable across runs.
+    let mut names: Vec<String> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let n = e.file_name().into_string().ok()?;
+                n.strip_suffix(".json").map(str::to_string)
+            })
+            .collect(),
+        Err(_) => return,
+    };
+    names.sort();
+    let mut merged = String::from("{\n");
+    let mut first = true;
+    for n in names {
+        let Ok(body) = std::fs::read_to_string(dir.join(format!("{n}.json"))) else {
+            continue;
+        };
+        if !first {
+            merged.push_str(",\n");
+        }
+        first = false;
+        merged.push_str(&format!("\"{n}\": {}", body.trim()));
+    }
+    merged.push_str("\n}\n");
+    let path = results_dir().join("BENCH_PR.json");
+    if std::fs::write(&path, merged).is_ok() {
+        println!("json: {}", path.display());
+    }
+}
+
 /// Reduction of `ours` vs `base` at the average, in percent.
 pub fn avg_reduction(ours: &Summary, base: &Summary) -> f64 {
     ours.reduction_vs(base).avg

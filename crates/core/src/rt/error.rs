@@ -1,0 +1,261 @@
+//! Typed errors for the runtime allocation and integrity paths.
+//!
+//! [`AllocError`] replaces the bare `Option` the allocation front end
+//! used to return, and doubles as the error vocabulary of the
+//! backend-agnostic `AllocatorBackend` API in `hermes-allocators`: every
+//! backend — simulated or real — reports failures through the same
+//! three-way split. [`IntegrityError`] replaces the stringly-typed
+//! integrity report; its `Display` output is byte-compatible with the
+//! old messages so log-matching tooling keeps working.
+
+use std::fmt;
+
+/// Why an allocation could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Every arena (or the backing substrate) is out of memory for this
+    /// request; a smaller request or freeing memory may still succeed.
+    Exhausted,
+    /// The request can never be served by this runtime: it exceeds the
+    /// largest region a single arena could hand out.
+    Oversized {
+        /// Requested size in bytes.
+        requested: usize,
+        /// The largest request this runtime can serve.
+        limit: usize,
+    },
+    /// The calling thread (or simulated process) is not registered with
+    /// the substrate serving it. Produced by backends whose domain
+    /// requires registration — e.g. a simulated allocator whose process
+    /// was removed from the OS model.
+    UnregisteredThread,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Exhausted => write!(f, "allocator exhausted"),
+            AllocError::Oversized { requested, limit } => {
+                write!(
+                    f,
+                    "request of {requested} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            AllocError::UnregisteredThread => write!(f, "calling thread is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A structural invariant violated inside one heap walk.
+///
+/// Offsets are heap-relative byte offsets of the offending chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityViolation {
+    /// A chunk's size word is below the minimum or misaligned.
+    BadChunkSize {
+        /// Offset of the chunk.
+        off: usize,
+        /// The bad size value.
+        size: usize,
+    },
+    /// A chunk's `prev_size` stamp disagrees with its predecessor.
+    PrevSizeMismatch {
+        /// Offset of the chunk carrying the stamp.
+        off: usize,
+        /// The stamped value.
+        stamped: usize,
+        /// The predecessor's actual size.
+        actual: usize,
+        /// Offset of the predecessor.
+        prev_off: usize,
+    },
+    /// Two free chunks are physically adjacent (missed coalescing).
+    AdjacentFreeChunks {
+        /// Offset of the earlier chunk.
+        prev_off: usize,
+        /// Offset of the later chunk.
+        off: usize,
+    },
+    /// The chunk walk did not land exactly on the top chunk.
+    WalkOverrun {
+        /// Where the walk ended.
+        off: usize,
+        /// Where the top chunk starts.
+        top: usize,
+    },
+    /// An in-use chunk is linked into a free bin.
+    InUseChunkBinned {
+        /// Bin index.
+        bin: usize,
+        /// Offset of the chunk.
+        off: usize,
+    },
+    /// A chunk sits in a bin that does not match its size class.
+    MisfiledChunk {
+        /// Bin index it was found in.
+        bin: usize,
+        /// Offset of the chunk.
+        off: usize,
+        /// Its size.
+        size: usize,
+    },
+    /// A doubly-linked free-list back pointer is inconsistent.
+    BrokenBackLink {
+        /// Bin index.
+        bin: usize,
+        /// Offset of the chunk with the bad link.
+        off: usize,
+    },
+    /// Total bin-linked bytes disagree with the walked free bytes.
+    BinnedBytesMismatch {
+        /// Bytes reachable through the bins.
+        linked: usize,
+        /// Free bytes seen by the chunk walk.
+        walked: usize,
+    },
+    /// The `stats.binned` counter disagrees with the walked free bytes.
+    StatsBinnedMismatch {
+        /// The counter value.
+        stat: usize,
+        /// Free bytes seen by the chunk walk.
+        walked: usize,
+    },
+    /// `stats.in_use` or `stats.live` drifted from the walked truth.
+    StatsDrift,
+    /// The top chunk starts beyond the program break.
+    TopBeyondBreak,
+}
+
+impl fmt::Display for IntegrityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IntegrityViolation::BadChunkSize { off, size } => {
+                write!(f, "chunk {off:#x}: bad size {size}")
+            }
+            IntegrityViolation::PrevSizeMismatch {
+                off,
+                stamped,
+                actual,
+                prev_off,
+            } => write!(
+                f,
+                "chunk {off:#x}: prev_size {stamped} != {actual} (prev at {prev_off:#x})"
+            ),
+            IntegrityViolation::AdjacentFreeChunks { prev_off, off } => {
+                write!(f, "adjacent free chunks at {prev_off:#x} and {off:#x}")
+            }
+            IntegrityViolation::WalkOverrun { off, top } => {
+                write!(f, "chunk walk overran top: {off:#x} vs {top:#x}")
+            }
+            IntegrityViolation::InUseChunkBinned { bin, off } => {
+                write!(f, "bin {bin}: in-use chunk {off:#x} linked")
+            }
+            IntegrityViolation::MisfiledChunk { bin, off, size } => {
+                write!(f, "bin {bin}: chunk {off:#x} size {size} misfiled")
+            }
+            IntegrityViolation::BrokenBackLink { bin, off } => {
+                write!(f, "bin {bin}: back-link broken at {off:#x}")
+            }
+            IntegrityViolation::BinnedBytesMismatch { linked, walked } => {
+                write!(f, "binned {linked} != walked free {walked}")
+            }
+            IntegrityViolation::StatsBinnedMismatch { stat, walked } => {
+                write!(f, "stats.binned {stat} != {walked}")
+            }
+            IntegrityViolation::StatsDrift => write!(f, "in-use stats drift"),
+            IntegrityViolation::TopBeyondBreak => write!(f, "top beyond break"),
+        }
+    }
+}
+
+/// An integrity-check failure, optionally attributed to one arena of a
+/// multi-shard runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// Index of the offending arena (`None` for a bare `RawHeap`).
+    pub arena: Option<usize>,
+    /// The violated invariant.
+    pub violation: IntegrityViolation,
+}
+
+impl IntegrityError {
+    /// Wraps a violation with no arena attribution.
+    pub fn new(violation: IntegrityViolation) -> Self {
+        IntegrityError {
+            arena: None,
+            violation,
+        }
+    }
+
+    /// Returns a copy attributed to arena `index`.
+    pub fn with_arena(mut self, index: usize) -> Self {
+        self.arena = Some(index);
+        self
+    }
+}
+
+impl From<IntegrityViolation> for IntegrityError {
+    fn from(violation: IntegrityViolation) -> Self {
+        IntegrityError::new(violation)
+    }
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.arena {
+            Some(i) => write!(f, "arena {i}: {}", self.violation),
+            None => write!(f, "{}", self.violation),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_error_displays() {
+        assert_eq!(AllocError::Exhausted.to_string(), "allocator exhausted");
+        assert!(AllocError::Oversized {
+            requested: 10,
+            limit: 5
+        }
+        .to_string()
+        .contains("exceeds"));
+        assert!(AllocError::UnregisteredThread
+            .to_string()
+            .contains("not registered"));
+    }
+
+    #[test]
+    fn integrity_error_display_matches_legacy_strings() {
+        // The messages below are byte-for-byte the old `String` payloads.
+        let e = IntegrityError::from(IntegrityViolation::BadChunkSize {
+            off: 0x40,
+            size: 17,
+        });
+        assert_eq!(e.to_string(), "chunk 0x40: bad size 17");
+        let e = e.with_arena(3);
+        assert_eq!(e.to_string(), "arena 3: chunk 0x40: bad size 17");
+        assert_eq!(
+            IntegrityViolation::AdjacentFreeChunks {
+                prev_off: 0x20,
+                off: 0x60
+            }
+            .to_string(),
+            "adjacent free chunks at 0x20 and 0x60"
+        );
+        assert_eq!(
+            IntegrityViolation::StatsDrift.to_string(),
+            "in-use stats drift"
+        );
+        assert_eq!(
+            IntegrityViolation::TopBeyondBreak.to_string(),
+            "top beyond break"
+        );
+    }
+}

@@ -24,6 +24,7 @@
 //! already in place.
 
 use super::arena::{Arena, PAGE};
+use super::error::{IntegrityError, IntegrityViolation};
 use std::fmt;
 use std::ptr::NonNull;
 
@@ -651,12 +652,14 @@ impl RawHeap {
     }
 
     /// Walks the whole heap verifying structural invariants; used by the
-    /// test suite and property tests.
+    /// test suite, property tests and the real backend's debug path.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant.
-    pub fn check_integrity(&self) -> Result<(), String> {
+    /// Returns the first violated invariant as a typed
+    /// [`IntegrityError`] (whose `Display` keeps the historical message
+    /// text).
+    pub fn check_integrity(&self) -> Result<(), IntegrityError> {
         let mut off = 0usize;
         let mut prev: Option<(usize, usize, bool)> = None;
         let mut free_bytes = 0usize;
@@ -672,16 +675,24 @@ impl RawHeap {
                 )
             };
             if size < MIN_CHUNK || size % ALIGN != 0 {
-                return Err(format!("chunk {off:#x}: bad size {size}"));
+                return Err(IntegrityViolation::BadChunkSize { off, size }.into());
             }
             if let Some((poff, psize, pfree)) = prev {
                 if stamped_prev != psize {
-                    return Err(format!(
-                        "chunk {off:#x}: prev_size {stamped_prev} != {psize} (prev at {poff:#x})"
-                    ));
+                    return Err(IntegrityViolation::PrevSizeMismatch {
+                        off,
+                        stamped: stamped_prev,
+                        actual: psize,
+                        prev_off: poff,
+                    }
+                    .into());
                 }
                 if pfree && !in_use {
-                    return Err(format!("adjacent free chunks at {poff:#x} and {off:#x}"));
+                    return Err(IntegrityViolation::AdjacentFreeChunks {
+                        prev_off: poff,
+                        off,
+                    }
+                    .into());
                 }
             }
             if in_use {
@@ -694,10 +705,11 @@ impl RawHeap {
             off += size;
         }
         if off != self.top_off {
-            return Err(format!(
-                "chunk walk overran top: {off:#x} vs {:#x}",
-                self.top_off
-            ));
+            return Err(IntegrityViolation::WalkOverrun {
+                off,
+                top: self.top_off,
+            }
+            .into());
         }
         // Free-list consistency.
         let mut linked = 0usize;
@@ -709,13 +721,18 @@ impl RawHeap {
                 let (size, in_use, bk) =
                     unsafe { (self.chunk_size(cur), self.chunk_in_use(cur), self.bk(cur)) };
                 if in_use {
-                    return Err(format!("bin {b}: in-use chunk {cur:#x} linked"));
+                    return Err(IntegrityViolation::InUseChunkBinned { bin: b, off: cur }.into());
                 }
                 if bin_index(size) != b {
-                    return Err(format!("bin {b}: chunk {cur:#x} size {size} misfiled"));
+                    return Err(IntegrityViolation::MisfiledChunk {
+                        bin: b,
+                        off: cur,
+                        size,
+                    }
+                    .into());
                 }
                 if bk != prev_link {
-                    return Err(format!("bin {b}: back-link broken at {cur:#x}"));
+                    return Err(IntegrityViolation::BrokenBackLink { bin: b, off: cur }.into());
                 }
                 linked += size;
                 prev_link = cur;
@@ -724,19 +741,24 @@ impl RawHeap {
             }
         }
         if linked != free_bytes {
-            return Err(format!("binned {linked} != walked free {free_bytes}"));
+            return Err(IntegrityViolation::BinnedBytesMismatch {
+                linked,
+                walked: free_bytes,
+            }
+            .into());
         }
         if self.stats.binned != free_bytes {
-            return Err(format!(
-                "stats.binned {} != {free_bytes}",
-                self.stats.binned
-            ));
+            return Err(IntegrityViolation::StatsBinnedMismatch {
+                stat: self.stats.binned,
+                walked: free_bytes,
+            }
+            .into());
         }
         if self.stats.in_use != in_use_bytes || self.stats.live != live {
-            return Err("in-use stats drift".into());
+            return Err(IntegrityViolation::StatsDrift.into());
         }
         if self.top_off > self.brk_off {
-            return Err("top beyond break".into());
+            return Err(IntegrityViolation::TopBeyondBreak.into());
         }
         Ok(())
     }

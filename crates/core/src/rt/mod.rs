@@ -42,6 +42,7 @@
 //! ```
 
 pub mod arena;
+pub mod error;
 pub mod global;
 pub mod heap;
 pub mod large;
@@ -50,6 +51,7 @@ pub mod stats;
 pub mod tcache;
 
 pub use arena::{Arena, ArenaError, PAGE};
+pub use error::{AllocError, IntegrityError, IntegrityViolation};
 pub use global::Hermes;
 pub use heap::{HeapError, HeapStats, RawHeap};
 pub use large::{LargePool, LargeStats};
@@ -209,6 +211,10 @@ pub(crate) struct Shared {
     /// itself; answered by each owner thread on its next allocator touch
     /// (see `tcache`).
     pub reclaim_epoch: AtomicU64,
+    /// The largest single request any shard could ever serve (the
+    /// biggest large-arena capacity); bigger requests fail fast with
+    /// [`AllocError::Oversized`] instead of sweeping every shard.
+    pub max_request: usize,
 }
 
 impl Shared {
@@ -305,6 +311,7 @@ impl HermesHeap {
         assert!(!sets.is_empty(), "at least one arena pair required");
         let n = sets.len();
         let mut ranges: Vec<RouteRange> = Vec::with_capacity(n * 2);
+        let mut max_request = 0usize;
         let shards: Box<[Shard]> = sets
             .into_iter()
             .enumerate()
@@ -313,6 +320,7 @@ impl HermesHeap {
                 ranges.push((hb, hb + h.capacity(), i, false));
                 let lb = l.base().as_ptr() as usize;
                 ranges.push((lb, lb + l.capacity(), i, true));
+                max_request = max_request.max(l.capacity());
                 Shard::new(h, l, &cfg, n)
             })
             .collect();
@@ -327,6 +335,7 @@ impl HermesHeap {
             last_ops: AtomicU64::new(0),
             quiet_rounds: AtomicU64::new(0),
             reclaim_epoch: AtomicU64::new(0),
+            max_request,
         });
         HermesHeap {
             shared,
@@ -469,21 +478,34 @@ impl HermesHeap {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant, prefixed
-    /// with the offending arena index.
-    pub fn check_integrity(&self) -> Result<(), String> {
+    /// Returns the first violated invariant as a typed
+    /// [`IntegrityError`] attributed to the offending arena (its
+    /// `Display` output keeps the historical `"arena {i}: ..."` prefix).
+    pub fn check_integrity(&self) -> Result<(), IntegrityError> {
         for (i, s) in self.shared.shards.iter().enumerate() {
             lock(&s.heap)
                 .raw
                 .check_integrity()
-                .map_err(|e| format!("arena {i}: {e}"))?;
+                .map_err(|e| e.with_arena(i))?;
         }
         Ok(())
     }
 
-    /// Allocates per `layout`. Returns `None` on arena exhaustion.
-    pub fn allocate(&self, layout: Layout) -> Option<NonNull<u8>> {
+    /// Allocates per `layout`.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::Oversized`] when no shard could ever serve the
+    /// request; [`AllocError::Exhausted`] when every arena is full right
+    /// now.
+    pub fn allocate(&self, layout: Layout) -> Result<NonNull<u8>, AllocError> {
         let size = layout.size().max(1);
+        if size > self.shared.max_request {
+            return Err(AllocError::Oversized {
+                requested: size,
+                limit: self.shared.max_request,
+            });
+        }
         if size < self.shared.cfg.mmap_threshold {
             // Fast path: serve cacheable requests from the thread cache,
             // no shard lock. Falls through when the cache layer is off,
@@ -491,13 +513,15 @@ impl HermesHeap {
             if self.shared.cfg.tcache && layout.align() <= heap::ALIGN {
                 if let Some(cls) = tcache::request_class(size) {
                     if let Some(p) = tcache::allocate(&self.shared, cls) {
-                        return Some(p);
+                        return Ok(p);
                     }
                 }
             }
             self.allocate_small(self.home_arena(), layout, size)
+                .ok_or(AllocError::Exhausted)
         } else {
             self.allocate_large(self.home_arena(), layout, size)
+                .ok_or(AllocError::Exhausted)
         }
     }
 
@@ -1035,6 +1059,47 @@ mod tests {
         assert_eq!(h.cached_bytes(), 0);
         assert_eq!(h.heap_stats().live, 0);
         assert_eq!(h.heap_stats().in_use, 0);
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn oversized_request_fails_fast_with_typed_error() {
+        let h = HermesHeap::new(HermesHeapConfig::small()).unwrap();
+        let huge = 10usize << 30;
+        match h.allocate(Layout::from_size_align(huge, 16).unwrap()) {
+            Err(AllocError::Oversized { requested, limit }) => {
+                assert_eq!(requested, huge);
+                assert!(limit < huge, "limit {limit} below the request");
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The heap still serves normal requests afterwards.
+        let p = h.allocate(layout(64)).unwrap();
+        // SAFETY: p live, freed once.
+        unsafe { h.deallocate(p, layout(64)) };
+    }
+
+    #[test]
+    fn exhaustion_reports_typed_error() {
+        let cfg = HermesHeapConfig {
+            heap_capacity: PAGE * 64,
+            large_capacity: PAGE * 64,
+            arenas: 1,
+            hermes: HermesConfig::default(),
+        };
+        let h = HermesHeap::new(cfg).unwrap();
+        let mut live = Vec::new();
+        let err = loop {
+            match h.allocate(layout(PAGE * 8)) {
+                Ok(p) => live.push(p),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, AllocError::Exhausted);
+        for p in live {
+            // SAFETY: each pointer live exactly once.
+            unsafe { h.deallocate(p, layout(PAGE * 8)) };
+        }
         h.check_integrity().unwrap();
     }
 

@@ -155,7 +155,7 @@ proptest! {
             let before = alloc_counts(&heap);
             let h = Arc::clone(&heap);
             let addr = std::thread::spawn(move || {
-                h.allocate(layout).map(|p| p.as_ptr() as usize)
+                h.allocate(layout).ok().map(|p| p.as_ptr() as usize)
             })
             .join()
             .expect("allocator thread");

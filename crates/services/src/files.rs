@@ -1,0 +1,252 @@
+//! Backend-agnostic file I/O for the disk-backed service model.
+//!
+//! RocksDB's WAL appends, SST flushes and SST reads go through a
+//! [`FileStore`] so the same service code runs in both domains:
+//!
+//! * [`SimFiles`] — the simulated page cache ([`hermes_os::Os`] file
+//!   model), with write-back contention, readahead and reclaim, on the
+//!   shared virtual clock;
+//! * [`RealFiles`] — an in-memory page-cache stand-in for wall-clock
+//!   runs: writes and reads really move bytes (a measured memcpy into a
+//!   bounded scratch region, the dominant cost of a cached file op) but
+//!   nothing touches disk, so the allocator under test stays the only
+//!   real variable.
+
+use hermes_allocators::backend::{map_mem_error, SharedOs};
+use hermes_allocators::AllocError;
+use hermes_os::prelude::*;
+use hermes_sim::clock::{Clock, VirtualClock};
+use hermes_sim::time::SimDuration;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// File operations a service needs, in either time domain. Latencies
+/// follow the backend convention: they have already elapsed on the
+/// domain clock when returned.
+pub trait FileStore: Send {
+    /// Creates an empty file, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`AllocError`] when the substrate refuses.
+    fn create(&mut self) -> Result<FileId, AllocError>;
+
+    /// Appends `bytes` to `file`; returns the foreground latency.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`AllocError`] (e.g. simulated memory exhaustion while
+    /// growing the page cache).
+    fn write(&mut self, file: FileId, bytes: usize) -> Result<SimDuration, AllocError>;
+
+    /// Appends `bytes` to `file` as *background* work: the data lands
+    /// (pages populate the cache) but the foreground clock does not
+    /// advance — the service flush path runs off the query's critical
+    /// path and charges only its scheduling stall.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`AllocError`].
+    fn write_background(&mut self, file: FileId, bytes: usize) -> Result<(), AllocError> {
+        self.write(file, bytes).map(|_| ())
+    }
+
+    /// Reads `bytes` from `file`; returns the latency.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`AllocError`].
+    fn read(&mut self, file: FileId, bytes: usize) -> Result<SimDuration, AllocError>;
+
+    /// Deletes `file`, dropping its cached pages.
+    fn delete(&mut self, file: FileId);
+}
+
+/// The simulated OS file model as a [`FileStore`].
+pub struct SimFiles {
+    os: SharedOs,
+    clock: VirtualClock,
+    proc: ProcId,
+}
+
+impl fmt::Debug for SimFiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimFiles")
+            .field("proc", &self.proc)
+            .finish()
+    }
+}
+
+impl SimFiles {
+    /// File store for `proc` over the shared OS and clock.
+    pub fn new(os: SharedOs, clock: VirtualClock, proc: ProcId) -> Self {
+        SimFiles { os, clock, proc }
+    }
+
+    fn os(&self) -> std::sync::MutexGuard<'_, Os> {
+        self.os.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl FileStore for SimFiles {
+    fn create(&mut self) -> Result<FileId, AllocError> {
+        let proc = self.proc;
+        self.os().create_file(proc, 0).map_err(map_mem_error)
+    }
+
+    fn write(&mut self, file: FileId, bytes: usize) -> Result<SimDuration, AllocError> {
+        let now = self.clock.now();
+        let lat = self
+            .os()
+            .write_file(file, bytes, now)
+            .map_err(map_mem_error)?;
+        self.clock.advance(lat);
+        Ok(lat)
+    }
+
+    fn write_background(&mut self, file: FileId, bytes: usize) -> Result<(), AllocError> {
+        let now = self.clock.now();
+        // Same page-cache effects, no clock movement: the write is
+        // off the foreground path.
+        self.os()
+            .write_file(file, bytes, now)
+            .map_err(map_mem_error)?;
+        Ok(())
+    }
+
+    fn read(&mut self, file: FileId, bytes: usize) -> Result<SimDuration, AllocError> {
+        let now = self.clock.now();
+        let lat = self
+            .os()
+            .read_file(file, bytes, now)
+            .map_err(map_mem_error)?;
+        self.clock.advance(lat);
+        Ok(lat)
+    }
+
+    fn delete(&mut self, file: FileId) {
+        self.os().delete_file(file);
+    }
+}
+
+/// Upper bound on the bytes one real file op actually moves; larger ops
+/// are costed at this cap (a cached 64 MB flush does not need a 64 MB
+/// memset to have representative latency, and the cap bounds memory).
+const REAL_IO_CAP: usize = 8 << 20;
+
+/// In-memory file model for wall-clock runs.
+pub struct RealFiles {
+    sizes: HashMap<u64, usize>,
+    next: u64,
+    scratch: Vec<u8>,
+}
+
+impl fmt::Debug for RealFiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RealFiles")
+            .field("files", &self.sizes.len())
+            .finish()
+    }
+}
+
+impl RealFiles {
+    /// An empty store.
+    pub fn new() -> Self {
+        RealFiles {
+            sizes: HashMap::new(),
+            next: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn move_bytes(&mut self, bytes: usize, write: bool) -> SimDuration {
+        let n = bytes.clamp(1, REAL_IO_CAP);
+        if self.scratch.len() < n {
+            self.scratch.resize(n, 0);
+        }
+        let t = Instant::now();
+        if write {
+            // SAFETY: scratch holds at least n initialised bytes.
+            unsafe { std::ptr::write_bytes(self.scratch.as_mut_ptr(), 0x5A, n) };
+        } else {
+            let mut sum = 0u64;
+            let mut i = 0;
+            while i < n {
+                // SAFETY: i < n <= scratch.len().
+                sum = sum.wrapping_add(unsafe {
+                    std::ptr::read_volatile(self.scratch.as_ptr().add(i))
+                } as u64);
+                i += 64;
+            }
+            std::hint::black_box(sum);
+        }
+        SimDuration::from_nanos(t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
+impl Default for RealFiles {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FileStore for RealFiles {
+    fn create(&mut self) -> Result<FileId, AllocError> {
+        let id = self.next;
+        self.next += 1;
+        self.sizes.insert(id, 0);
+        Ok(FileId(id))
+    }
+
+    fn write(&mut self, file: FileId, bytes: usize) -> Result<SimDuration, AllocError> {
+        *self.sizes.entry(file.0).or_insert(0) += bytes;
+        Ok(self.move_bytes(bytes, true))
+    }
+
+    fn read(&mut self, file: FileId, bytes: usize) -> Result<SimDuration, AllocError> {
+        let _ = file;
+        Ok(self.move_bytes(bytes, false))
+    }
+
+    fn delete(&mut self, file: FileId) {
+        self.sizes.remove(&file.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_allocators::SimEnv;
+    use hermes_os::config::OsConfig;
+    use hermes_os::types::ProcKind;
+    use hermes_sim::time::SimTime;
+
+    #[test]
+    fn sim_files_advance_the_clock() {
+        let env = SimEnv::new(OsConfig::small_test_node());
+        let proc = env.os().register_process(ProcKind::LatencyCritical);
+        let mut files = SimFiles::new(env.os.clone(), env.clock.clone(), proc);
+        let f = files.create().unwrap();
+        let w = files.write(f, 64 * 1024).unwrap();
+        assert!(w > SimDuration::ZERO);
+        assert_eq!(env.now(), SimTime::ZERO + w, "write elapsed on the clock");
+        let r = files.read(f, 4096).unwrap();
+        assert_eq!(env.now(), SimTime::ZERO + w + r);
+        files.delete(f);
+    }
+
+    #[test]
+    fn real_files_measure_and_cap() {
+        let mut files = RealFiles::new();
+        let f = files.create().unwrap();
+        let w = files.write(f, 1 << 20).unwrap();
+        assert!(w > SimDuration::ZERO, "memcpy took measurable time");
+        // A huge op is capped: scratch stays bounded.
+        files.write(f, 1 << 30).unwrap();
+        assert!(files.scratch.len() <= REAL_IO_CAP);
+        files.read(f, 4096).unwrap();
+        files.delete(f);
+        assert!(files.sizes.is_empty());
+    }
+}

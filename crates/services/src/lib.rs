@@ -9,23 +9,27 @@
 //!   file cache.
 //!
 //! A *query* is one insertion followed by one read of the same record,
-//! with 1 KB ("small") or 200 KB ("large") values. Both services run over
-//! any [`hermes_allocators::SimAllocator`], so Hermes, Glibc, jemalloc and
-//! TCMalloc can be compared on identical workloads.
+//! with 1 KB ("small") or 200 KB ("large") values. Both services are
+//! generic over [`hermes_allocators::AllocatorBackend`], so one query
+//! path drives the four simulated allocator models in virtual time *and*
+//! the real Hermes runtime / system allocator in wall time. Build
+//! concrete models directly, or go through [`build_service_on`] with a
+//! [`BackendKind`].
 
 #![warn(missing_docs)]
 
+pub mod files;
 pub mod redis;
 pub mod rocksdb;
 pub mod service;
 
+pub use files::{FileStore, RealFiles, SimFiles};
 pub use redis::{RedisCosts, RedisModel};
 pub use rocksdb::{RocksdbCosts, RocksdbModel};
 pub use service::{QueryLatency, Service};
 
-use hermes_allocators::{build_allocator, AllocatorKind};
+use hermes_allocators::{build_backend, BackendKind, BuildError, SimBackend, SimEnv};
 use hermes_core::HermesConfig;
-use hermes_os::prelude::*;
 
 /// Which service model to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,41 +59,98 @@ impl std::fmt::Display for ServiceKind {
     }
 }
 
-/// Builds a service over a freshly registered allocator of `alloc_kind`.
+/// Builds a service over a freshly constructed backend of `backend`
+/// kind. Sim kinds join the experiment's [`SimEnv`] (shared OS +
+/// virtual clock); real kinds boot actual memory and run on wall time.
 ///
 /// # Errors
 ///
-/// Propagates [`MemError`] from service setup (WAL creation).
-pub fn build_service(
+/// [`BuildError::NeedsSimEnv`] for a sim backend without an
+/// environment; otherwise arena-reservation or set-up failures.
+pub fn build_service_on(
     service: ServiceKind,
-    alloc_kind: AllocatorKind,
-    os: &mut Os,
+    backend: BackendKind,
+    env: Option<&SimEnv>,
     seed: u64,
     cfg: &HermesConfig,
-) -> Result<Box<dyn Service>, MemError> {
-    let alloc = build_allocator(alloc_kind, os, seed, cfg);
-    Ok(match service {
-        ServiceKind::Redis => Box::new(RedisModel::new(alloc, seed)),
-        ServiceKind::Rocksdb => Box::new(RocksdbModel::new(alloc, seed, os)?),
-    })
+) -> Result<Box<dyn Service>, BuildError> {
+    match backend {
+        BackendKind::Sim(kind) => {
+            let env = env.ok_or(BuildError::NeedsSimEnv)?;
+            let b = SimBackend::new(kind, env, seed, cfg);
+            Ok(match service {
+                ServiceKind::Redis => Box::new(RedisModel::new(b, seed)),
+                ServiceKind::Rocksdb => {
+                    let files = Box::new(SimFiles::new(
+                        env.os.clone(),
+                        env.clock.clone(),
+                        b.proc_id(),
+                    ));
+                    Box::new(RocksdbModel::new(b, files, seed)?)
+                }
+            })
+        }
+        real => {
+            let b = build_backend(real, None, seed, cfg)?;
+            Ok(match service {
+                ServiceKind::Redis => Box::new(RedisModel::new(b, seed)),
+                ServiceKind::Rocksdb => {
+                    Box::new(RocksdbModel::new(b, Box::new(RealFiles::new()), seed)?)
+                }
+            })
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hermes_os::config::OsConfig;
-    use hermes_sim::time::SimTime;
+    use hermes_sim::clock::Clock;
 
     #[test]
-    fn factory_builds_both_services() {
-        let mut os = Os::new(OsConfig::small_test_node());
+    fn factory_builds_both_services_on_sim() {
         let cfg = HermesConfig::default();
+        let env = SimEnv::new(OsConfig::small_test_node());
         for sk in ServiceKind::ALL {
-            let mut s = build_service(sk, AllocatorKind::Hermes, &mut os, 7, &cfg).unwrap();
+            let mut s = build_service_on(
+                sk,
+                BackendKind::Sim(hermes_allocators::AllocatorKind::Hermes),
+                Some(&env),
+                7,
+                &cfg,
+            )
+            .unwrap();
             assert_eq!(s.name(), sk.name());
-            let q = s.query(1024, SimTime::ZERO, &mut os).unwrap();
+            let q = s.query(1024).unwrap();
             assert!(q.total().as_nanos() > 0);
             assert!(s.stored_bytes() >= 1024);
         }
+    }
+
+    #[test]
+    fn factory_builds_both_services_on_real_system() {
+        let cfg = HermesConfig::default();
+        for sk in ServiceKind::ALL {
+            let mut s = build_service_on(sk, BackendKind::RealSystem, None, 7, &cfg).unwrap();
+            let q = s.query(1024).unwrap();
+            assert!(q.total().as_nanos() > 0, "{sk}: wall-clock latency");
+            assert!(!s.backend().clock().is_virtual());
+        }
+    }
+
+    #[test]
+    fn sim_factory_requires_env() {
+        let cfg = HermesConfig::default();
+        let err = build_service_on(
+            ServiceKind::Redis,
+            BackendKind::Sim(hermes_allocators::AllocatorKind::Glibc),
+            None,
+            1,
+            &cfg,
+        )
+        .err()
+        .expect("must fail without env");
+        assert!(matches!(err, BuildError::NeedsSimEnv));
     }
 }

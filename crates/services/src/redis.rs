@@ -2,12 +2,20 @@
 //! allocator memory and clients talk over loopback (which is why its
 //! absolute query latencies are two orders of magnitude above RocksDB's
 //! embedded API — compare the SLOs in Figures 9 and 10).
+//!
+//! The model is generic over its [`AllocatorBackend`]: the same query
+//! path runs over the simulated allocator models in virtual time and
+//! over the real Hermes runtime (or the system allocator) in wall time.
+//! Model-side costs (loopback RTT, hash-table bookkeeping, per-byte
+//! copies) are simulated constants in both domains; the allocation and
+//! data-access latencies come from the backend — measured for real
+//! backends, modelled for sims.
 
 use crate::service::{QueryLatency, Service};
-use hermes_allocators::{AllocHandle, SimAllocator};
-use hermes_os::prelude::*;
+use hermes_allocators::{AllocError, AllocHandle, AllocatorBackend};
+use hermes_sim::clock::{Clock, ClockHandle};
 use hermes_sim::rng::DetRng;
-use hermes_sim::time::{SimDuration, SimTime};
+use hermes_sim::time::SimDuration;
 
 /// Cost constants of the Redis model.
 #[derive(Debug, Clone)]
@@ -36,30 +44,37 @@ impl Default for RedisCosts {
     }
 }
 
-/// The Redis service model.
-pub struct RedisModel {
-    alloc: Box<dyn SimAllocator>,
-    /// Stored records: value handle + size (entry handle folded in).
-    records: Vec<(AllocHandle, usize)>,
+/// The Redis service model over any allocation backend.
+pub struct RedisModel<B: AllocatorBackend> {
+    backend: B,
+    clock: ClockHandle,
+    /// Stored records: entry-metadata handle, value handle, value size.
+    /// Both handles are freed on delete — against the real backends
+    /// these are actual allocations in a fixed-capacity heap, so
+    /// nothing may leak per query.
+    records: Vec<(AllocHandle, AllocHandle, usize)>,
     stored: usize,
     costs: RedisCosts,
     rng: DetRng,
 }
 
-impl std::fmt::Debug for RedisModel {
+impl<B: AllocatorBackend> std::fmt::Debug for RedisModel<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RedisModel")
+            .field("backend", &self.backend.kind())
             .field("records", &self.records.len())
             .field("stored", &self.stored)
             .finish()
     }
 }
 
-impl RedisModel {
-    /// Creates the service over the given allocator.
-    pub fn new(alloc: Box<dyn SimAllocator>, seed: u64) -> Self {
+impl<B: AllocatorBackend> RedisModel<B> {
+    /// Creates the service over the given backend, adopting its clock.
+    pub fn new(backend: B, seed: u64) -> Self {
+        let clock = backend.clock();
         RedisModel {
-            alloc,
+            backend,
+            clock,
             records: Vec::new(),
             stored: 0,
             costs: RedisCosts::default(),
@@ -67,91 +82,96 @@ impl RedisModel {
         }
     }
 
-    fn copy_cost(&mut self, bytes: usize) -> SimDuration {
+    fn copy_cost(&self, bytes: usize) -> SimDuration {
         SimDuration::from_nanos((bytes as f64 * self.costs.per_byte_ns) as u64)
     }
 }
 
-impl Service for RedisModel {
+impl<B: AllocatorBackend> Service for RedisModel<B> {
     fn name(&self) -> &'static str {
         "Redis"
     }
 
-    fn query(
-        &mut self,
-        value_bytes: usize,
-        now: SimTime,
-        os: &mut Os,
-    ) -> Result<QueryLatency, MemError> {
-        self.alloc.advance_to(now, os);
-        let contention = os.service_contention();
+    fn query(&mut self, value_bytes: usize) -> Result<QueryLatency, AllocError> {
+        self.backend.advance();
+        let contention = self.backend.contention();
         let rtt = self
             .costs
             .rtt
             .mul_f64(self.rng.tail_multiplier(self.costs.sigma) * contention);
         // ---- insert: allocate the entry metadata and the value ----
         let mut insert = rtt / 2 + self.costs.lookup;
-        let (_, entry_lat) = self.alloc.malloc(self.costs.entry_bytes, now, os)?;
+        self.clock.advance(rtt / 2 + self.costs.lookup);
+        let (entry, entry_lat) = self.backend.malloc(self.costs.entry_bytes)?;
         insert += entry_lat;
-        let t_val = now + insert;
-        let (h, val_lat) = self.alloc.malloc(value_bytes, t_val, os)?;
+        let (h, val_lat) = match self.backend.malloc(value_bytes) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.backend.free(entry);
+                return Err(e);
+            }
+        };
         insert += val_lat;
-        insert += self.copy_cost(value_bytes).mul_f64(contention);
-        self.records.push((h, value_bytes));
+        let copy = self.copy_cost(value_bytes).mul_f64(contention);
+        insert += copy;
+        self.clock.advance(copy);
+        self.records.push((entry, h, value_bytes));
         self.stored += value_bytes;
         // ---- read the record back ----
-        let t_read = now + insert;
         let mut read = rtt / 2 + self.costs.lookup;
-        read += self.alloc.access(h, value_bytes, t_read, os);
-        read += self.copy_cost(value_bytes).mul_f64(contention);
+        self.clock.advance(rtt / 2 + self.costs.lookup);
+        read += self.backend.access(h, value_bytes);
+        let copy = self.copy_cost(value_bytes).mul_f64(contention);
+        read += copy;
+        self.clock.advance(copy);
         Ok(QueryLatency { insert, read })
     }
 
-    fn delete_one(&mut self, now: SimTime, os: &mut Os) -> SimDuration {
+    fn delete_one(&mut self) -> SimDuration {
         if self.records.is_empty() {
             return SimDuration::ZERO;
         }
         let idx = self.rng.index(self.records.len());
-        let (h, size) = self.records.swap_remove(idx);
+        let (entry, h, size) = self.records.swap_remove(idx);
         self.stored -= size;
-        self.costs.lookup + self.alloc.free(h, now, os)
+        self.clock.advance(self.costs.lookup);
+        self.costs.lookup + self.backend.free(h) + self.backend.free(entry)
     }
 
     fn stored_bytes(&self) -> usize {
         self.stored
     }
 
-    fn advance_to(&mut self, now: SimTime, os: &mut Os) {
-        self.alloc.advance_to(now, os);
+    fn advance(&mut self) {
+        self.backend.advance();
     }
 
-    fn allocator(&self) -> &dyn SimAllocator {
-        self.alloc.as_ref()
+    fn backend(&self) -> &dyn AllocatorBackend {
+        &self.backend
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hermes_allocators::{build_allocator, AllocatorKind};
+    use hermes_allocators::{AllocatorKind, SimBackend, SimEnv};
     use hermes_core::HermesConfig;
     use hermes_os::config::OsConfig;
 
-    fn redis(kind: AllocatorKind) -> (Os, RedisModel) {
-        let mut os = Os::new(OsConfig::small_test_node());
-        let alloc = build_allocator(kind, &mut os, 5, &HermesConfig::default());
-        (os, RedisModel::new(alloc, 5))
+    fn redis(kind: AllocatorKind) -> (SimEnv, RedisModel<SimBackend>) {
+        let env = SimEnv::new(OsConfig::small_test_node());
+        let backend = SimBackend::new(kind, &env, 5, &HermesConfig::default());
+        (env, RedisModel::new(backend, 5))
     }
 
     #[test]
     fn small_query_latency_is_rtt_dominated() {
-        let (mut os, mut r) = redis(AllocatorKind::Glibc);
-        let mut now = SimTime::ZERO;
+        let (env, mut r) = redis(AllocatorKind::Glibc);
         let mut lats = Vec::new();
         for _ in 0..200 {
-            let q = r.query(1024, now, &mut os).unwrap();
+            let q = r.query(1024).unwrap();
             lats.push(q.total().as_micros());
-            now += q.total() + SimDuration::from_micros(5);
+            env.clock.advance(SimDuration::from_micros(5));
         }
         lats.sort_unstable();
         let p90 = lats[lats.len() * 9 / 10];
@@ -163,13 +183,12 @@ mod tests {
 
     #[test]
     fn large_query_latency_in_millisecond_range() {
-        let (mut os, mut r) = redis(AllocatorKind::Glibc);
-        let mut now = SimTime::ZERO;
+        let (env, mut r) = redis(AllocatorKind::Glibc);
         let mut lats = Vec::new();
         for _ in 0..50 {
-            let q = r.query(200 * 1024, now, &mut os).unwrap();
+            let q = r.query(200 * 1024).unwrap();
             lats.push(q.total().as_micros());
-            now += q.total() + SimDuration::from_micros(20);
+            env.clock.advance(SimDuration::from_micros(20));
         }
         lats.sort_unstable();
         let p90 = lats[lats.len() * 9 / 10];
@@ -181,23 +200,33 @@ mod tests {
 
     #[test]
     fn stored_bytes_track_inserts_and_deletes() {
-        let (mut os, mut r) = redis(AllocatorKind::Glibc);
-        let mut now = SimTime::ZERO;
+        let (_env, mut r) = redis(AllocatorKind::Glibc);
         for _ in 0..10 {
-            let q = r.query(1024, now, &mut os).unwrap();
-            now += q.total();
+            r.query(1024).unwrap();
         }
         assert_eq!(r.stored_bytes(), 10 * 1024);
-        r.delete_one(now, &mut os);
+        r.delete_one();
         assert_eq!(r.stored_bytes(), 9 * 1024);
         assert_eq!(r.name(), "Redis");
     }
 
     #[test]
+    fn queries_elapse_on_the_shared_clock() {
+        let (env, mut r) = redis(AllocatorKind::Glibc);
+        let t0 = env.now();
+        let q = r.query(1024).unwrap();
+        assert_eq!(
+            env.now(),
+            t0 + q.total(),
+            "query latency has already elapsed on the clock"
+        );
+    }
+
+    #[test]
     fn works_with_every_allocator() {
         for kind in AllocatorKind::ALL {
-            let (mut os, mut r) = redis(kind);
-            let q = r.query(2048, SimTime::ZERO, &mut os).unwrap();
+            let (_env, mut r) = redis(kind);
+            let q = r.query(2048).unwrap();
             assert!(q.total() > SimDuration::ZERO, "{kind}");
         }
     }

@@ -7,12 +7,18 @@
 //! insertion (allocation) side dominates query latency (Figure 2), and
 //! the memtable arena's churn of ≥128 KB blocks is exactly the mmap-path
 //! pattern Hermes' segregated pool accelerates.
+//!
+//! Generic over its [`AllocatorBackend`]; file traffic goes through a
+//! [`FileStore`] so the simulated page cache and the wall-clock
+//! stand-in drive the identical code path.
 
+use crate::files::FileStore;
 use crate::service::{QueryLatency, Service};
-use hermes_allocators::{AllocHandle, SimAllocator};
+use hermes_allocators::{AllocError, AllocHandle, AllocatorBackend};
 use hermes_os::prelude::*;
+use hermes_sim::clock::{Clock, ClockHandle};
 use hermes_sim::rng::DetRng;
-use hermes_sim::time::{SimDuration, SimTime};
+use hermes_sim::time::SimDuration;
 
 /// Cost constants of the RocksDB model.
 #[derive(Debug, Clone)]
@@ -48,9 +54,11 @@ impl Default for RocksdbCosts {
     }
 }
 
-/// The RocksDB service model.
-pub struct RocksdbModel {
-    alloc: Box<dyn SimAllocator>,
+/// The RocksDB service model over any allocation backend.
+pub struct RocksdbModel<B: AllocatorBackend> {
+    backend: B,
+    clock: ClockHandle,
+    files: Box<dyn FileStore>,
     costs: RocksdbCosts,
     wal: FileId,
     ssts: Vec<FileId>,
@@ -62,9 +70,10 @@ pub struct RocksdbModel {
     rng: DetRng,
 }
 
-impl std::fmt::Debug for RocksdbModel {
+impl<B: AllocatorBackend> std::fmt::Debug for RocksdbModel<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RocksdbModel")
+            .field("backend", &self.backend.kind())
             .field("memtable_bytes", &self.memtable_bytes)
             .field("ssts", &self.ssts.len())
             .field("stored", &self.stored)
@@ -72,19 +81,19 @@ impl std::fmt::Debug for RocksdbModel {
     }
 }
 
-impl RocksdbModel {
-    /// Creates the store; registers its WAL with the OS.
+impl<B: AllocatorBackend> RocksdbModel<B> {
+    /// Creates the store; registers its WAL with the file store.
     ///
     /// # Errors
     ///
-    /// Propagates [`MemError`] if the WAL cannot be created.
-    pub fn new(alloc: Box<dyn SimAllocator>, seed: u64, os: &mut Os) -> Result<Self, MemError> {
-        let wal = os
-            .create_file(alloc.proc_id(), 0)
-            .map(Ok)
-            .unwrap_or_else(Err)?;
+    /// Propagates [`AllocError`] if the WAL cannot be created.
+    pub fn new(backend: B, mut files: Box<dyn FileStore>, seed: u64) -> Result<Self, AllocError> {
+        let wal = files.create()?;
+        let clock = backend.clock();
         Ok(RocksdbModel {
-            alloc,
+            backend,
+            clock,
+            files,
             costs: RocksdbCosts::default(),
             wal,
             ssts: Vec::new(),
@@ -96,74 +105,89 @@ impl RocksdbModel {
         })
     }
 
+    /// Cost knobs (tests shrink the memtable to force flushes).
+    pub fn costs_mut(&mut self) -> &mut RocksdbCosts {
+        &mut self.costs
+    }
+
+    /// SST files currently live (flush/compaction observability).
+    pub fn sst_count(&self) -> usize {
+        self.ssts.len()
+    }
+
+    /// Bytes in the active memtable.
+    pub fn memtable_bytes(&self) -> usize {
+        self.memtable_bytes
+    }
+
     fn copy_cost(&self, bytes: usize) -> SimDuration {
         SimDuration::from_nanos((bytes as f64 * self.costs.per_byte_ns) as u64)
     }
 
-    fn flush(&mut self, now: SimTime, os: &mut Os) -> SimDuration {
+    fn flush(&mut self) -> SimDuration {
         // Background flush: SST written to the file cache, memtable arena
-        // released. Only a small scheduling stall hits the foreground.
-        if let Ok(sst) = os.create_file(self.alloc.proc_id(), 0) {
-            let _ = os.write_file(sst, self.memtable_bytes, now);
+        // released. Only a small scheduling stall hits the foreground —
+        // the SST write must not advance the foreground clock.
+        if let Ok(sst) = self.files.create() {
+            let _ = self.files.write_background(sst, self.memtable_bytes);
             self.ssts.push(sst);
         }
-        for h in self.arena_blocks.drain(..) {
-            self.alloc.free(h, now, os);
+        for h in std::mem::take(&mut self.arena_blocks) {
+            self.backend.free(h);
         }
         self.arena_left = 0;
         self.memtable_bytes = 0;
         while self.ssts.len() > self.costs.max_ssts {
             let victim = self.ssts.remove(0);
-            os.delete_file(victim);
+            self.files.delete(victim);
         }
+        self.clock.advance(self.costs.flush_stall);
         self.costs.flush_stall
     }
 }
 
-impl Service for RocksdbModel {
+impl<B: AllocatorBackend> Service for RocksdbModel<B> {
     fn name(&self) -> &'static str {
         "Rocksdb"
     }
 
-    fn query(
-        &mut self,
-        value_bytes: usize,
-        now: SimTime,
-        os: &mut Os,
-    ) -> Result<QueryLatency, MemError> {
-        self.alloc.advance_to(now, os);
-        let contention = os.service_contention();
+    fn query(&mut self, value_bytes: usize) -> Result<QueryLatency, AllocError> {
+        self.backend.advance();
+        let contention = self.backend.contention();
         let jitter = self.rng.tail_multiplier(self.costs.sigma);
         // ---- insert ----
         let mut insert = self.costs.lookup.mul_f64(jitter * contention);
+        self.clock.advance(insert);
         // Every insert allocates a skiplist node + key slice (small path).
-        let (node, node_lat) = self.alloc.malloc(48 + 24, now, os)?;
+        let (node, node_lat) = self.backend.malloc(48 + 24)?;
         self.arena_blocks.push(node);
         insert += node_lat;
         if self.arena_left < value_bytes {
             // New arena block through the allocator (mmap path for the
             // default 256 KB block — the Figure 2 hot spot).
             let block = self.costs.arena_block.max(value_bytes);
-            let (h, lat) = self.alloc.malloc(block, now, os)?;
+            let (h, lat) = self.backend.malloc(block)?;
             insert += lat;
             self.arena_blocks.push(h);
             self.arena_left = block;
         }
         self.arena_left -= value_bytes;
-        insert += self.copy_cost(value_bytes).mul_f64(contention);
+        let copy = self.copy_cost(value_bytes).mul_f64(contention);
+        insert += copy;
+        self.clock.advance(copy);
         // WAL append.
-        insert += os.write_file(self.wal, value_bytes, now + insert)?;
+        insert += self.files.write(self.wal, value_bytes)?;
         self.memtable_bytes += value_bytes;
         self.stored += value_bytes;
         if self.memtable_bytes >= self.costs.memtable_cap {
-            insert += self.flush(now + insert, os);
+            insert += self.flush();
         }
         // ---- read ----
-        let t_read = now + insert;
         let mut read = self
             .costs
             .lookup
             .mul_f64(self.rng.tail_multiplier(self.costs.sigma));
+        self.clock.advance(read);
         let memtable_frac = if self.stored == 0 {
             1.0
         } else {
@@ -173,21 +197,26 @@ impl Service for RocksdbModel {
             // Memtable hit: touch the arena memory (swap-in risk under
             // pressure).
             if let Some(&h) = self.arena_blocks.last() {
-                read += self.alloc.access(h, value_bytes, t_read, os);
+                read += self.backend.access(h, value_bytes);
             }
-            read += self.copy_cost(value_bytes.min(16 * 1024));
+            let copy = self.copy_cost(value_bytes.min(16 * 1024));
+            read += copy;
+            self.clock.advance(copy);
         } else {
             let idx = self.rng.index(self.ssts.len());
-            read += os.read_file(self.ssts[idx], value_bytes, t_read)?;
-            read += self.copy_cost(value_bytes.min(16 * 1024));
+            let sst = self.ssts[idx];
+            read += self.files.read(sst, value_bytes)?;
+            let copy = self.copy_cost(value_bytes.min(16 * 1024));
+            read += copy;
+            self.clock.advance(copy);
         }
         Ok(QueryLatency { insert, read })
     }
 
-    fn delete_one(&mut self, now: SimTime, os: &mut Os) -> SimDuration {
+    fn delete_one(&mut self) -> SimDuration {
         // Tombstone write: tiny memtable insert.
-        let _ = (now, os);
         self.stored = self.stored.saturating_sub(1024);
+        self.clock.advance(self.costs.lookup);
         self.costs.lookup
     }
 
@@ -195,38 +224,43 @@ impl Service for RocksdbModel {
         self.stored
     }
 
-    fn advance_to(&mut self, now: SimTime, os: &mut Os) {
-        self.alloc.advance_to(now, os);
+    fn advance(&mut self) {
+        self.backend.advance();
     }
 
-    fn allocator(&self) -> &dyn SimAllocator {
-        self.alloc.as_ref()
+    fn backend(&self) -> &dyn AllocatorBackend {
+        &self.backend
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hermes_allocators::{build_allocator, AllocatorKind};
+    use crate::files::SimFiles;
+    use hermes_allocators::{AllocatorKind, SimBackend, SimEnv};
     use hermes_core::HermesConfig;
     use hermes_os::config::OsConfig;
 
-    fn rocks(kind: AllocatorKind) -> (Os, RocksdbModel) {
-        let mut os = Os::new(OsConfig::small_test_node());
-        let alloc = build_allocator(kind, &mut os, 6, &HermesConfig::default());
-        let r = RocksdbModel::new(alloc, 6, &mut os).unwrap();
-        (os, r)
+    fn rocks(kind: AllocatorKind) -> (SimEnv, RocksdbModel<SimBackend>) {
+        let env = SimEnv::new(OsConfig::small_test_node());
+        let backend = SimBackend::new(kind, &env, 6, &HermesConfig::default());
+        let files = Box::new(SimFiles::new(
+            env.os.clone(),
+            env.clock.clone(),
+            backend.proc_id(),
+        ));
+        let r = RocksdbModel::new(backend, files, 6).unwrap();
+        (env, r)
     }
 
     #[test]
     fn small_queries_are_tens_of_microseconds() {
-        let (mut os, mut r) = rocks(AllocatorKind::Glibc);
-        let mut now = SimTime::ZERO;
+        let (env, mut r) = rocks(AllocatorKind::Glibc);
         let mut lats = Vec::new();
         for _ in 0..500 {
-            let q = r.query(1024, now, &mut os).unwrap();
+            let q = r.query(1024).unwrap();
             lats.push(q.total().as_nanos());
-            now += q.total() + SimDuration::from_micros(2);
+            env.clock.advance(SimDuration::from_micros(2));
         }
         lats.sort_unstable();
         let p90 = lats[lats.len() * 9 / 10] / 1000;
@@ -240,22 +274,18 @@ mod tests {
     fn insert_dominates_query_latency() {
         // The Figure 2 observation: allocation-heavy insertion is the
         // bulk of the query, especially for large records.
-        let (mut os, mut r) = rocks(AllocatorKind::Glibc);
-        let mut now = SimTime::ZERO;
+        let (_env, mut r) = rocks(AllocatorKind::Glibc);
         let mut small_share = Vec::new();
         for _ in 0..300 {
-            let q = r.query(1024, now, &mut os).unwrap();
+            let q = r.query(1024).unwrap();
             small_share.push(q.insert_share());
-            now += q.total();
         }
         let avg_small: f64 = small_share.iter().sum::<f64>() / small_share.len() as f64;
-        let (mut os2, mut r2) = rocks(AllocatorKind::Glibc);
-        let mut now2 = SimTime::ZERO;
+        let (_env2, mut r2) = rocks(AllocatorKind::Glibc);
         let mut large_share = Vec::new();
         for _ in 0..100 {
-            let q = r2.query(200 * 1024, now2, &mut os2).unwrap();
+            let q = r2.query(200 * 1024).unwrap();
             large_share.push(q.insert_share());
-            now2 += q.total();
         }
         let avg_large: f64 = large_share.iter().sum::<f64>() / large_share.len() as f64;
         assert!(avg_small > 50.0, "small insert share {avg_small:.1}%");
@@ -265,28 +295,52 @@ mod tests {
 
     #[test]
     fn memtable_flushes_to_sst() {
-        let (mut os, mut r) = rocks(AllocatorKind::Glibc);
+        let (env, mut r) = rocks(AllocatorKind::Glibc);
         // Shrink the memtable so the test flushes quickly.
-        r.costs.memtable_cap = 1 << 20;
-        let mut now = SimTime::ZERO;
+        r.costs_mut().memtable_cap = 1 << 20;
         for _ in 0..30 {
-            let q = r.query(64 * 1024, now, &mut os).unwrap();
-            now += q.total();
+            r.query(64 * 1024).unwrap();
         }
         assert!(!r.ssts.is_empty(), "flush created SSTs");
         assert!(r.memtable_bytes < (1 << 20));
-        assert!(os.file_cached_pages() > 0, "SSTs populate the file cache");
+        assert!(
+            env.os().file_cached_pages() > 0,
+            "SSTs populate the file cache"
+        );
+    }
+
+    #[test]
+    fn background_flush_does_not_stall_the_foreground_clock() {
+        let (env, mut r) = rocks(AllocatorKind::Glibc);
+        r.costs_mut().memtable_cap = 256 * 1024;
+        let mut flushes = 0;
+        for _ in 0..40 {
+            let before = r.sst_count();
+            let t0 = env.now();
+            let q = r.query(64 * 1024).unwrap();
+            let elapsed = env.now().duration_since(t0);
+            // The SST write is background work: the clock may exceed the
+            // reported foreground latency only by the (tiny) arena-block
+            // release costs, never by the memtable-sized write.
+            assert!(
+                elapsed <= q.total() + SimDuration::from_micros(50),
+                "clock moved {elapsed} vs reported {}",
+                q.total()
+            );
+            if r.sst_count() > before {
+                flushes += 1;
+            }
+        }
+        assert!(flushes > 0, "the loop exercised the flush path");
     }
 
     #[test]
     fn compaction_caps_sst_count() {
-        let (mut os, mut r) = rocks(AllocatorKind::Glibc);
-        r.costs.memtable_cap = 256 * 1024;
-        r.costs.max_ssts = 3;
-        let mut now = SimTime::ZERO;
+        let (_env, mut r) = rocks(AllocatorKind::Glibc);
+        r.costs_mut().memtable_cap = 256 * 1024;
+        r.costs_mut().max_ssts = 3;
         for _ in 0..60 {
-            let q = r.query(64 * 1024, now, &mut os).unwrap();
-            now += q.total();
+            r.query(64 * 1024).unwrap();
         }
         assert!(r.ssts.len() <= 3);
     }
@@ -294,8 +348,8 @@ mod tests {
     #[test]
     fn works_with_every_allocator() {
         for kind in AllocatorKind::ALL {
-            let (mut os, mut r) = rocks(kind);
-            let q = r.query(200 * 1024, SimTime::ZERO, &mut os).unwrap();
+            let (_env, mut r) = rocks(kind);
+            let q = r.query(200 * 1024).unwrap();
             assert!(q.total() > SimDuration::ZERO, "{kind}");
         }
     }

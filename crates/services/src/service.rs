@@ -1,8 +1,15 @@
 //! The latency-critical-service interface used by the experiment drivers.
+//!
+//! Since the backend redesign, a service is bound to one
+//! [`AllocatorBackend`] and the backend's clock at construction; queries
+//! take no time or OS parameters. Latencies returned by
+//! [`Service::query`] and [`Service::delete_one`] have already elapsed
+//! on the service's clock (see `hermes_sim::clock`), so drivers advance
+//! only think time between queries — the identical loop drives the
+//! virtual-time sims and the real wall-clock runtime.
 
-use hermes_allocators::SimAllocator;
-use hermes_os::prelude::*;
-use hermes_sim::time::{SimDuration, SimTime};
+use hermes_allocators::{AllocError, AllocatorBackend};
+use hermes_sim::time::SimDuration;
 
 /// Latency of one query, split the way Figure 2 reports it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,28 +46,25 @@ pub trait Service {
     fn name(&self) -> &'static str;
 
     /// Runs one insert+read query with a record of `value_bytes`.
+    /// The returned latency has already elapsed on the service's clock.
     ///
     /// # Errors
     ///
-    /// Propagates [`MemError`] on allocation failure.
-    fn query(
-        &mut self,
-        value_bytes: usize,
-        now: SimTime,
-        os: &mut Os,
-    ) -> Result<QueryLatency, MemError>;
+    /// Propagates the backend's typed [`AllocError`].
+    fn query(&mut self, value_bytes: usize) -> Result<QueryLatency, AllocError>;
 
-    /// Deletes one stored record (workload churn). Returns its latency.
-    fn delete_one(&mut self, now: SimTime, os: &mut Os) -> SimDuration;
+    /// Deletes one stored record (workload churn). Returns its latency,
+    /// already elapsed on the clock.
+    fn delete_one(&mut self) -> SimDuration;
 
     /// Bytes of user data currently stored.
     fn stored_bytes(&self) -> usize;
 
-    /// Fast-forwards service background work to `now`.
-    fn advance_to(&mut self, now: SimTime, os: &mut Os);
+    /// Fast-forwards service background work to the clock's now.
+    fn advance(&mut self);
 
-    /// The underlying allocator (for overhead inspection).
-    fn allocator(&self) -> &dyn SimAllocator;
+    /// The underlying backend (for stats and overhead inspection).
+    fn backend(&self) -> &dyn AllocatorBackend;
 }
 
 #[cfg(test)]

@@ -1,0 +1,84 @@
+//! Acceptance: the Redis service answers queries through the *real*
+//! Hermes runtime — arenas, thread caches and the live management
+//! thread — on wall-clock time, and the identical service path runs
+//! unchanged over the sim backend.
+
+use hermes_allocators::{AllocatorKind, BackendKind, RealHermesBackend, SimEnv};
+use hermes_core::rt::HermesHeapConfig;
+use hermes_core::HermesConfig;
+use hermes_os::config::OsConfig;
+use hermes_services::{build_service_on, RedisModel, Service, ServiceKind};
+use hermes_sim::clock::Clock;
+use hermes_sim::stats::LatencyRecorder;
+use hermes_sim::time::SimDuration;
+
+#[test]
+fn redis_answers_queries_on_the_real_hermes_runtime() {
+    let backend =
+        RealHermesBackend::with_heap_config(HermesHeapConfig::small()).expect("arena reservation");
+    assert!(
+        backend.heap().manager_running(),
+        "the management thread is live"
+    );
+    let mut redis = RedisModel::new(backend, 42);
+
+    // Warm-up: populate the store, let the thread caches and the
+    // manager build reserve.
+    for _ in 0..256 {
+        redis.query(1024).expect("warm-up query");
+    }
+
+    let mut rec = LatencyRecorder::new("redis-real-hermes");
+    for i in 0..1024usize {
+        let q = redis.query(1024).expect("measured query");
+        rec.record(q.total());
+        if i % 8 == 7 {
+            redis.delete_one();
+        }
+    }
+
+    let p99 = rec.percentile(0.99);
+    assert!(p99 > SimDuration::ZERO, "p99 is a real measurement");
+    assert!(
+        p99 < SimDuration::from_secs(1),
+        "p99 {p99} is finite and sane"
+    );
+
+    let stats = redis.backend().stats();
+    assert!(
+        stats.reserved_unused_bytes > 0,
+        "after warm-up the runtime holds reserve (got {})",
+        stats.reserved_unused_bytes
+    );
+    assert!(
+        stats.alloc_count >= 2 * (256 + 1024),
+        "entry+value per query"
+    );
+    assert!(!redis.backend().clock().is_virtual(), "wall-clock domain");
+    redis.backend().check().expect("heap integrity holds");
+}
+
+#[test]
+fn the_same_service_path_runs_on_the_sim_backend() {
+    // `--backend sim` takes this exact construction: same service code,
+    // same query loop, virtual time instead of wall time.
+    let env = SimEnv::new(OsConfig::small_test_node());
+    let mut svc = build_service_on(
+        ServiceKind::Redis,
+        BackendKind::Sim(AllocatorKind::Hermes),
+        Some(&env),
+        42,
+        &HermesConfig::default(),
+    )
+    .expect("sim service");
+    let mut rec = LatencyRecorder::new("redis-sim-hermes");
+    for i in 0..512usize {
+        let q = svc.query(1024).expect("sim query");
+        rec.record(q.total());
+        if i % 8 == 7 {
+            svc.delete_one();
+        }
+    }
+    assert!(rec.percentile(0.99) > SimDuration::ZERO);
+    assert!(svc.backend().clock().is_virtual(), "virtual-time domain");
+}

@@ -1,0 +1,176 @@
+//! Time-domain abstraction: one clock interface over virtual and wall
+//! time.
+//!
+//! The backend redesign runs the same service/query code in two domains:
+//!
+//! * **virtual** — the simulator's nanosecond counter, advanced
+//!   explicitly by whoever incurs latency ([`VirtualClock`]);
+//! * **wall** — real `std::time::Instant` time, which advances on its
+//!   own ([`WallClock`]; `advance` is a no-op).
+//!
+//! The convention shared by both: *returned latencies have already
+//! elapsed on the clock*. A virtual-domain component advances the clock
+//! by every latency it reports; a wall-domain component measures elapsed
+//! wall time, which by definition has already passed. Drivers therefore
+//! never re-apply a reported latency — they only advance think time
+//! (which the wall clock absorbs as a no-op).
+//!
+//! Clocks are cheap cloneable handles: a driver and the backends it
+//! owns share one time base by cloning the handle.
+
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotone clock in one time domain. Instants are reported on the
+/// shared [`SimTime`] axis (nanoseconds since the clock's epoch), so
+/// virtual and wall measurements flow through the same recorders.
+pub trait Clock {
+    /// Nanoseconds since this clock's epoch.
+    fn now(&self) -> SimTime;
+
+    /// Advances the clock by `d`. Wall clocks ignore this — real time
+    /// passes on its own.
+    fn advance(&self, d: SimDuration);
+
+    /// `true` for simulated time, `false` for wall time.
+    fn is_virtual(&self) -> bool;
+}
+
+/// The simulator's clock: a shared nanosecond counter.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock(Arc<AtomicU64>);
+
+impl VirtualClock {
+    /// A fresh clock at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jumps the clock to `t` (scenario set-up; must not move backwards
+    /// in normal use, though the clock itself does not enforce it).
+    pub fn set(&self, t: SimTime) {
+        self.0.store(t.as_nanos(), Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.0.load(Ordering::Relaxed))
+    }
+
+    fn advance(&self, d: SimDuration) {
+        self.0.fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+/// Wall time, reported as nanoseconds since the handle was created.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock with its epoch at "now".
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    fn advance(&self, _d: SimDuration) {
+        // Wall time advances on its own.
+    }
+
+    fn is_virtual(&self) -> bool {
+        false
+    }
+}
+
+/// A clock of either domain, cloneable and object-safe to store.
+#[derive(Debug, Clone)]
+pub enum ClockHandle {
+    /// Simulated time.
+    Virtual(VirtualClock),
+    /// Real time.
+    Wall(WallClock),
+}
+
+impl Clock for ClockHandle {
+    fn now(&self) -> SimTime {
+        match self {
+            ClockHandle::Virtual(c) => c.now(),
+            ClockHandle::Wall(c) => c.now(),
+        }
+    }
+
+    fn advance(&self, d: SimDuration) {
+        match self {
+            ClockHandle::Virtual(c) => c.advance(d),
+            ClockHandle::Wall(c) => c.advance(d),
+        }
+    }
+
+    fn is_virtual(&self) -> bool {
+        matches!(self, ClockHandle::Virtual(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_and_shares() {
+        let c = VirtualClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimDuration::from_micros(5));
+        assert_eq!(c2.now(), SimTime::from_micros(5), "handles share the base");
+        c2.set(SimTime::from_secs(1));
+        assert_eq!(c.now(), SimTime::from_secs(1));
+        assert!(c.is_virtual());
+    }
+
+    #[test]
+    fn wall_clock_moves_on_its_own() {
+        let c = WallClock::new();
+        let t0 = c.now();
+        c.advance(SimDuration::from_secs(3600)); // no-op
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t1 = c.now();
+        assert!(t1 > t0, "wall time passed: {t0:?} -> {t1:?}");
+        assert!(
+            t1 < SimTime::from_secs(60),
+            "advance() did not jump the epoch"
+        );
+        assert!(!c.is_virtual());
+    }
+
+    #[test]
+    fn clock_handle_dispatches() {
+        let v = ClockHandle::Virtual(VirtualClock::new());
+        v.advance(SimDuration::from_nanos(7));
+        assert_eq!(v.now(), SimTime::from_nanos(7));
+        assert!(v.is_virtual());
+        let w = ClockHandle::Wall(WallClock::new());
+        assert!(!w.is_virtual());
+    }
+}

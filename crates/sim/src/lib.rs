@@ -12,6 +12,9 @@
 //! pieces provided here are:
 //!
 //! * [`time`] — [`time::SimTime`] / [`time::SimDuration`] newtypes (ns).
+//! * [`clock`] — the [`clock::Clock`] domain abstraction: a shared
+//!   virtual clock and a wall clock behind one interface, so the same
+//!   drivers run in simulated and real time.
 //! * [`rng`] — seeded, stream-labelled RNG for reproducible experiments.
 //! * [`queue`] — a deterministic timed event queue with FIFO tie-breaking.
 //! * [`stats`] — latency recorders, percentiles, CDFs, SLO-violation ratios.
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod clock;
 pub mod queue;
 pub mod report;
 pub mod rng;
@@ -45,6 +49,7 @@ pub mod time;
 
 /// Convenient glob-import of the types practically every consumer needs.
 pub mod prelude {
+    pub use crate::clock::{Clock, ClockHandle, VirtualClock, WallClock};
     pub use crate::queue::EventQueue;
     pub use crate::rng::DetRng;
     pub use crate::stats::{LatencyRecorder, OnlineStats, Reduction, Summary};

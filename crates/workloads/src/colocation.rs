@@ -1,11 +1,12 @@
 //! Co-location experiments (§5.3): a latency-critical service sharing the
 //! node with batch jobs at a configurable memory-pressure level.
 
-use hermes_allocators::{AllocatorKind, MonitorDaemonSim};
+use hermes_allocators::{AllocatorKind, BackendKind, MonitorDaemonSim, SimEnv};
 use hermes_batch::{BatchLoad, BatchPolicy, JobSpec};
 use hermes_core::HermesConfig;
 use hermes_os::prelude::*;
-use hermes_services::{build_service, QueryLatency, ServiceKind};
+use hermes_services::{build_service_on, QueryLatency, ServiceKind};
+use hermes_sim::clock::Clock;
 use hermes_sim::prelude::*;
 
 /// Configuration of one co-location run.
@@ -80,15 +81,21 @@ pub struct ColocationResult {
 ///
 /// Panics if the set-up fails (indicates a configuration error).
 pub fn run_colocation(cfg: &ColocationConfig) -> ColocationResult {
-    let mut os = Os::new(OsConfig {
+    let env = SimEnv::new(OsConfig {
         seed: cfg.seed,
         ..OsConfig::paper_node()
     });
-    let mut service = build_service(cfg.service, cfg.allocator, &mut os, cfg.seed, &cfg.hermes)
-        .expect("service set-up");
+    let mut service = build_service_on(
+        cfg.service,
+        BackendKind::Sim(cfg.allocator),
+        Some(&env),
+        cfg.seed,
+        &cfg.hermes,
+    )
+    .expect("service set-up");
     let jobs = if cfg.pressure_level > 0.0 { 3 } else { 0 };
     let mut batch = BatchLoad::new(
-        &mut os,
+        &mut env.os(),
         JobSpec::default(),
         cfg.policy,
         jobs,
@@ -104,13 +111,12 @@ pub fn run_colocation(cfg: &ColocationConfig) -> ColocationResult {
     };
 
     // Warm-up: let the batch jobs ramp to their working sets.
-    let mut now = SimTime::ZERO;
     let warmup = SimTime::from_secs(90);
-    while now < warmup {
-        now += SimDuration::from_millis(500);
-        batch.advance_to(now, &mut os);
-        daemon.advance_to(now, &mut os);
-        service.advance_to(now, &mut os);
+    while env.now() < warmup {
+        env.clock.advance(SimDuration::from_millis(500));
+        batch.advance_to(env.now(), &mut env.os());
+        daemon.advance_to(env.now(), &mut env.os());
+        service.advance();
     }
 
     let mut totals = LatencyRecorder::new(format!(
@@ -123,39 +129,45 @@ pub fn run_colocation(cfg: &ColocationConfig) -> ColocationResult {
     let mut breakdown = Vec::with_capacity(cfg.queries);
     let mut rng = DetRng::new(cfg.seed, "colo-gap");
     for i in 0..cfg.queries {
-        batch.advance_to(now, &mut os);
-        daemon.advance_to(now, &mut os);
-        let q = match service.query(cfg.record_bytes, now, &mut os) {
+        batch.advance_to(env.now(), &mut env.os());
+        daemon.advance_to(env.now(), &mut env.os());
+        let q = match service.query(cfg.record_bytes) {
             Ok(q) => q,
             Err(_) => {
                 // Memory exhausted (swap full): the kernel OOM-kills the
                 // newest batch container and the query retries after the
                 // stall.
                 let stall = SimDuration::from_millis(40);
-                now += stall;
-                batch.oom_kill_newest(now, &mut os);
-                match service.query(cfg.record_bytes, now, &mut os) {
+                env.clock.advance(stall);
+                batch.oom_kill_newest(env.now(), &mut env.os());
+                match service.query(cfg.record_bytes) {
                     Ok(mut q) => {
                         q.insert += stall;
                         q
                     }
-                    Err(_) => QueryLatency {
-                        insert: stall * 3,
-                        read: SimDuration::ZERO,
-                    },
+                    Err(_) => {
+                        let q = QueryLatency {
+                            insert: stall * 3,
+                            read: SimDuration::ZERO,
+                        };
+                        env.clock.advance(q.total());
+                        q
+                    }
                 }
             }
         };
         totals.record(q.total());
         breakdown.push(q);
-        now += q.total() + SimDuration::from_micros(5 + rng.range(0, 10));
+        env.clock
+            .advance(SimDuration::from_micros(5 + rng.range(0, 10)));
         // Churn: bounded data set, like the paper's insert/read/delete mix.
         if i % 8 == 7 {
-            let lat = service.delete_one(now, &mut os);
-            now += lat;
+            service.delete_one();
         }
     }
 
+    let now = env.now();
+    let os = env.os();
     ColocationResult {
         totals,
         breakdown,

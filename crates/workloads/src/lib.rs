@@ -26,8 +26,11 @@ pub mod slo;
 pub mod throughput;
 
 pub use colocation::{run_colocation, ColocationConfig, ColocationResult, PRESSURE_LEVELS};
-pub use micro::{run_micro, run_micro_all, MicroConfig, MicroResult, Scenario};
+pub use micro::{run_micro, run_micro_all, run_micro_on, MicroConfig, MicroResult, Scenario};
 pub use overhead::{measure_overhead, OverheadReport};
 pub use sensitivity::{run_sensitivity, SensitivityPoint, FACTORS};
-pub use slo::{violation_reduction_pct, Slo};
+pub use slo::{
+    run_service_latency, run_service_slo, violation_reduction_pct, ServiceLatencyRun,
+    ServiceSloReport, Slo,
+};
 pub use throughput::{run_throughput, ThroughputConfig, ThroughputResult, ThroughputScenario};

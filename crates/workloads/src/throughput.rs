@@ -2,11 +2,12 @@
 //! three concurrent KMeans-like jobs next to a churning KV service, under
 //! the Default / Hermes / Killing policies plus the Dedicated baseline.
 
-use hermes_allocators::{AllocatorKind, MonitorDaemonSim};
+use hermes_allocators::{AllocatorKind, BackendKind, MonitorDaemonSim, SimEnv};
 use hermes_batch::{BatchLoad, BatchPolicy, JobSpec};
 use hermes_core::HermesConfig;
 use hermes_os::prelude::*;
-use hermes_services::{build_service, ServiceKind};
+use hermes_services::{build_service_on, ServiceKind};
+use hermes_sim::clock::Clock;
 use hermes_sim::prelude::*;
 
 /// The four Table 1 scenarios.
@@ -85,7 +86,7 @@ pub struct ThroughputResult {
 ///
 /// Panics on set-up failure.
 pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputResult {
-    let mut os = Os::new(OsConfig {
+    let env = SimEnv::new(OsConfig {
         seed: cfg.seed,
         ..OsConfig::paper_node()
     });
@@ -96,14 +97,27 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputResult {
         ThroughputScenario::Dedicated => (AllocatorKind::Glibc, BatchPolicy::Default, 0),
     };
     let hermes_cfg = HermesConfig::default();
-    let mut service = build_service(cfg.service, alloc_kind, &mut os, cfg.seed, &hermes_cfg)
-        .expect("service set-up");
+    let mut service = build_service_on(
+        cfg.service,
+        BackendKind::Sim(alloc_kind),
+        Some(&env),
+        cfg.seed,
+        &hermes_cfg,
+    )
+    .expect("service set-up");
     // Each KMeans job requests ~40 GB over 8 containers; three concurrent
     // jobs give the paper's 100 % pressure level together with the
     // service's 20-40 GB working set.
     let level = 3.0 * (40.0 / 128.0) * (cfg.service.redis_memory_factor());
-    let mut batch = BatchLoad::new(&mut os, JobSpec::default(), policy, jobs, level, cfg.seed)
-        .expect("batch set-up");
+    let mut batch = BatchLoad::new(
+        &mut env.os(),
+        JobSpec::default(),
+        policy,
+        jobs,
+        level,
+        cfg.seed,
+    )
+    .expect("batch set-up");
     let mut daemon = if cfg.scenario == ThroughputScenario::Hermes {
         MonitorDaemonSim::new(&hermes_cfg)
     } else {
@@ -111,37 +125,42 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputResult {
     };
 
     // Service preload: ~20 GB working set, grown with large records.
-    let mut now = SimTime::ZERO;
     let preload_target: usize = 20 << 30;
     while service.stored_bytes() < preload_target {
-        match service.query(8 << 20, now, &mut os) {
-            Ok(q) => now += q.total().max(SimDuration::from_millis(1)),
+        match service.query(8 << 20) {
+            Ok(q) => {
+                // Preload at >= 1 ms per insert regardless of query cost.
+                let t = q.total();
+                if t < SimDuration::from_millis(1) {
+                    env.clock.advance(SimDuration::from_millis(1) - t);
+                }
+            }
             Err(_) => {
-                batch.oom_kill_newest(now, &mut os);
-                now += SimDuration::from_millis(50);
+                batch.oom_kill_newest(env.now(), &mut env.os());
+                env.clock.advance(SimDuration::from_millis(50));
             }
         }
-        batch.advance_to(now, &mut os);
+        batch.advance_to(env.now(), &mut env.os());
     }
 
     // Main phase: service churn (insert/read/delete, 20–40 GB) while the
     // batch fleet runs for the full duration.
-    let end = now + cfg.duration;
+    let end = env.now() + cfg.duration;
     let mut rng = DetRng::new(cfg.seed, "throughput");
     let tick = SimDuration::from_millis(500);
     let mut stored_cap: usize = 40 << 30;
-    while now < end {
-        now += tick;
-        batch.advance_to(now, &mut os);
-        daemon.advance_to(now, &mut os);
+    while env.now() < end {
+        env.clock.advance(tick);
+        batch.advance_to(env.now(), &mut env.os());
+        daemon.advance_to(env.now(), &mut env.os());
         // A thinned sample of service queries keeps the KV store churning
         // without simulating billions of requests.
-        if service.query(1 << 20, now, &mut os).is_err() {
-            batch.oom_kill_newest(now, &mut os);
+        if service.query(1 << 20).is_err() {
+            batch.oom_kill_newest(env.now(), &mut env.os());
         }
         if service.stored_bytes() > stored_cap {
             for _ in 0..64 {
-                service.delete_one(now, &mut os);
+                service.delete_one();
             }
         }
         if rng.chance(0.01) {
@@ -150,6 +169,8 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputResult {
         }
     }
 
+    let now = env.now();
+    let os = env.os();
     ThroughputResult {
         jobs_completed: batch.completed_jobs(),
         kills: batch.kills(),
