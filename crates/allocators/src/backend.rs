@@ -252,9 +252,7 @@ pub fn map_mem_error(e: MemError) -> AllocError {
     match e {
         MemError::OutOfMemory | MemError::SwapFull => AllocError::Exhausted,
         MemError::UnknownProcess => AllocError::UnregisteredThread,
-        // A file error cannot reach the allocation path; treat it as
-        // exhaustion rather than panicking in release.
-        MemError::UnknownFile => AllocError::Exhausted,
+        MemError::UnknownFile => AllocError::UnknownFile,
     }
 }
 
@@ -504,6 +502,22 @@ mod tests {
             Err(AllocError::UnregisteredThread) => {}
             other => panic!("expected UnregisteredThread, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn mem_errors_map_to_distinct_alloc_errors() {
+        assert_eq!(map_mem_error(MemError::OutOfMemory), AllocError::Exhausted);
+        assert_eq!(map_mem_error(MemError::SwapFull), AllocError::Exhausted);
+        assert_eq!(
+            map_mem_error(MemError::UnknownProcess),
+            AllocError::UnregisteredThread
+        );
+        // A bad file id must NOT masquerade as exhaustion: fault
+        // attribution in the pressure matrices depends on the split.
+        assert_eq!(
+            map_mem_error(MemError::UnknownFile),
+            AllocError::UnknownFile
+        );
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Fault injection over any [`AllocatorBackend`]: a transparent wrapper
+//! that makes allocation failure *testable* on every backend.
+//!
+//! The real runtimes only exhaust when their gigabyte-scale carve really
+//! fills, and the sims only exhaust when the modelled node swaps out —
+//! neither is a practical way to exercise a service's degradation paths
+//! in a unit test or a short scenario. [`FaultBackend`] injects the
+//! failure vocabulary deterministically instead:
+//!
+//! * **rate faults** — a seeded Bernoulli draw per allocation returns
+//!   [`AllocError::Exhausted`] with probability `exhaust_rate`;
+//! * **schedule faults** — `every_nth` fails every Nth allocation,
+//!   bit-for-bit reproducible independent of the RNG;
+//! * **budget faults** — a byte budget caps the live bytes allocated
+//!   through the wrapper, turning any backend into a small fixed-size
+//!   node that genuinely runs out and recovers when memory is freed;
+//! * **latency spikes** — a seeded draw stretches an operation by
+//!   `spike` (virtual clocks advance, wall clocks spin), modelling
+//!   allocator stalls without failing the request.
+//!
+//! Everything else — stats, integrity checks, the clock, the backend's
+//! identity — passes through, so drivers and matrices see the wrapped
+//! backend's own kind. Injection counts are published through the
+//! cloneable [`FaultProbe`] carried by the [`FaultConfig`], which keeps
+//! working after the backend is boxed into a service.
+
+use crate::backend::{AllocatorBackend, BackendKind, BackendStats};
+use crate::traits::AllocHandle;
+use hermes_core::rt::{AllocError, IntegrityError};
+use hermes_sim::clock::{Clock, ClockHandle};
+use hermes_sim::rng::DetRng;
+use hermes_sim::time::SimDuration;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Snapshot of what a [`FaultBackend`] has injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// `Exhausted` errors injected by the rate or `every_nth` schedule.
+    pub injected_exhausted: u64,
+    /// `Exhausted` errors caused by the live-byte budget.
+    pub budget_denials: u64,
+    /// Latency spikes applied to successful operations.
+    pub spikes: u64,
+}
+
+impl FaultStats {
+    /// All injected allocation failures, regardless of mechanism.
+    pub fn total_failures(&self) -> u64 {
+        self.injected_exhausted + self.budget_denials
+    }
+}
+
+#[derive(Debug, Default)]
+struct ProbeInner {
+    injected_exhausted: AtomicU64,
+    budget_denials: AtomicU64,
+    spikes: AtomicU64,
+}
+
+/// Cloneable window onto a [`FaultBackend`]'s injection counters.
+///
+/// The probe is carried by the [`FaultConfig`]; cloning the config (as
+/// service factories do) shares the same counters, so the party that
+/// configured the faults can read what happened even after the backend
+/// disappeared into a `Box<dyn Service>`.
+#[derive(Debug, Clone, Default)]
+pub struct FaultProbe(Arc<ProbeInner>);
+
+impl FaultProbe {
+    /// Current injection counts.
+    pub fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            injected_exhausted: self.0.injected_exhausted.load(Ordering::Relaxed),
+            budget_denials: self.0.budget_denials.load(Ordering::Relaxed),
+            spikes: self.0.spikes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Configuration of one fault-injection wrapper.
+///
+/// The default injects nothing; compose the builder methods to pick the
+/// failure modes. The same seed always produces the same failure
+/// schedule against the same operation sequence.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed of the injection RNG (decoupled from the workload seed).
+    pub seed: u64,
+    /// Probability of injecting `Exhausted` per allocation attempt.
+    pub exhaust_rate: f64,
+    /// Fail every Nth allocation attempt (1-based; `None` disables).
+    pub every_nth: Option<u64>,
+    /// Cap on live bytes allocated through the wrapper (`None` = no cap).
+    pub budget_bytes: Option<usize>,
+    /// Probability of stretching a successful operation by [`spike`].
+    ///
+    /// [`spike`]: FaultConfig::spike
+    pub spike_rate: f64,
+    /// Magnitude of an injected latency spike.
+    pub spike: SimDuration,
+    /// Shared counters updated by the wrapper.
+    pub probe: FaultProbe,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            exhaust_rate: 0.0,
+            every_nth: None,
+            budget_bytes: None,
+            spike_rate: 0.0,
+            spike: SimDuration::from_micros(100),
+            probe: FaultProbe::default(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A no-fault configuration with the given schedule seed.
+    pub fn new(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Injects `Exhausted` with probability `rate` per allocation.
+    pub fn with_exhaust_rate(mut self, rate: f64) -> Self {
+        self.exhaust_rate = rate;
+        self
+    }
+
+    /// Fails every `n`th allocation attempt deterministically.
+    pub fn with_every_nth(mut self, n: u64) -> Self {
+        self.every_nth = Some(n.max(1));
+        self
+    }
+
+    /// Caps live bytes through the wrapper at `bytes`.
+    pub fn with_budget(mut self, bytes: usize) -> Self {
+        self.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Stretches successful operations by `spike` with probability
+    /// `rate`.
+    pub fn with_spikes(mut self, rate: f64, spike: SimDuration) -> Self {
+        self.spike_rate = rate;
+        self.spike = spike;
+        self
+    }
+}
+
+/// A fault-injecting [`AllocatorBackend`] wrapper. See the module docs.
+pub struct FaultBackend<B: AllocatorBackend> {
+    inner: B,
+    cfg: FaultConfig,
+    rng: DetRng,
+    clock: ClockHandle,
+    attempts: u64,
+    /// Sizes of live handles, for budget accounting.
+    sizes: HashMap<AllocHandle, usize>,
+    live_bytes: usize,
+}
+
+impl<B: AllocatorBackend> fmt::Debug for FaultBackend<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultBackend")
+            .field("kind", &self.inner.kind())
+            .field("attempts", &self.attempts)
+            .field("live_bytes", &self.live_bytes)
+            .finish()
+    }
+}
+
+impl<B: AllocatorBackend> FaultBackend<B> {
+    /// Wraps `inner` with the fault schedule of `cfg`.
+    pub fn new(inner: B, cfg: FaultConfig) -> Self {
+        let rng = DetRng::new(cfg.seed, "fault-inject");
+        let clock = inner.clock();
+        FaultBackend {
+            inner,
+            cfg,
+            rng,
+            clock,
+            attempts: 0,
+            sizes: HashMap::new(),
+            live_bytes: 0,
+        }
+    }
+
+    /// Injection counts so far (same data as the config's probe).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.cfg.probe.snapshot()
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Live bytes currently charged against the budget.
+    pub fn budget_live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// Decides whether this allocation attempt of `grow` fresh bytes is
+    /// injected away, and with which error.
+    fn inject(&mut self, grow: usize) -> Result<(), AllocError> {
+        self.attempts += 1;
+        if let Some(n) = self.cfg.every_nth {
+            if self.attempts % n == 0 {
+                self.cfg
+                    .probe
+                    .0
+                    .injected_exhausted
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(AllocError::Exhausted);
+            }
+        }
+        if self.cfg.exhaust_rate > 0.0 && self.rng.chance(self.cfg.exhaust_rate) {
+            self.cfg
+                .probe
+                .0
+                .injected_exhausted
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(AllocError::Exhausted);
+        }
+        if let Some(budget) = self.cfg.budget_bytes {
+            if self.live_bytes.saturating_add(grow) > budget {
+                self.cfg
+                    .probe
+                    .0
+                    .budget_denials
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(AllocError::Exhausted);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a latency spike with the configured probability; returns
+    /// the extra latency, which has already elapsed on the clock.
+    fn maybe_spike(&mut self) -> SimDuration {
+        if self.cfg.spike_rate <= 0.0 || !self.rng.chance(self.cfg.spike_rate) {
+            return SimDuration::ZERO;
+        }
+        self.cfg.probe.0.spikes.fetch_add(1, Ordering::Relaxed);
+        let spike = self.cfg.spike;
+        if self.clock.is_virtual() {
+            self.clock.advance(spike);
+        } else {
+            // Wall domain: the convention says reported latencies have
+            // already elapsed, so burn the time for real. Spikes are
+            // microseconds — spin rather than sleep for precision.
+            let t = std::time::Instant::now();
+            let target = std::time::Duration::from_nanos(spike.as_nanos());
+            while t.elapsed() < target {
+                std::hint::spin_loop();
+            }
+        }
+        spike
+    }
+}
+
+impl<B: AllocatorBackend> AllocatorBackend for FaultBackend<B> {
+    fn kind(&self) -> BackendKind {
+        self.inner.kind()
+    }
+
+    fn clock(&self) -> ClockHandle {
+        self.inner.clock()
+    }
+
+    fn malloc(&mut self, size: usize) -> Result<(AllocHandle, SimDuration), AllocError> {
+        self.inject(size)?;
+        let (h, lat) = self.inner.malloc(size)?;
+        self.sizes.insert(h, size);
+        self.live_bytes += size;
+        Ok((h, lat + self.maybe_spike()))
+    }
+
+    fn free(&mut self, handle: AllocHandle) -> SimDuration {
+        if let Some(size) = self.sizes.remove(&handle) {
+            self.live_bytes -= size;
+        }
+        self.inner.free(handle)
+    }
+
+    fn realloc(
+        &mut self,
+        handle: AllocHandle,
+        new_size: usize,
+    ) -> Result<(AllocHandle, SimDuration), AllocError> {
+        let old = self.sizes.get(&handle).copied().unwrap_or(0);
+        self.inject(new_size.saturating_sub(old))?;
+        let (h, lat) = self.inner.realloc(handle, new_size)?;
+        if let Some(size) = self.sizes.remove(&handle) {
+            self.live_bytes -= size;
+        }
+        self.sizes.insert(h, new_size);
+        self.live_bytes += new_size;
+        Ok((h, lat + self.maybe_spike()))
+    }
+
+    fn access(&mut self, handle: AllocHandle, bytes: usize) -> SimDuration {
+        self.inner.access(handle, bytes)
+    }
+
+    fn advance(&mut self) {
+        self.inner.advance();
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.inner.stats()
+    }
+
+    fn contention(&self) -> f64 {
+        self.inner.contention()
+    }
+
+    fn check(&self) -> Result<(), IntegrityError> {
+        self.inner.check()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::real::RealSystemBackend;
+
+    #[test]
+    fn no_fault_config_is_transparent() {
+        let mut b = FaultBackend::new(RealSystemBackend::new(), FaultConfig::default());
+        for _ in 0..50 {
+            let (h, _) = b.malloc(4096).expect("no faults configured");
+            b.free(h);
+        }
+        assert_eq!(b.fault_stats(), FaultStats::default());
+        assert_eq!(b.stats().live, 0);
+        assert_eq!(b.stats().alloc_count, 50);
+    }
+
+    #[test]
+    fn every_nth_schedule_is_exact() {
+        let cfg = FaultConfig::new(3).with_every_nth(4);
+        let probe = cfg.probe.clone();
+        let mut b = FaultBackend::new(RealSystemBackend::new(), cfg);
+        let mut failures = Vec::new();
+        for i in 1..=20u64 {
+            match b.malloc(64) {
+                Ok((h, _)) => b.free(h),
+                Err(AllocError::Exhausted) => {
+                    failures.push(i);
+                    SimDuration::ZERO
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            };
+        }
+        assert_eq!(failures, vec![4, 8, 12, 16, 20]);
+        assert_eq!(probe.snapshot().injected_exhausted, 5);
+    }
+
+    #[test]
+    fn budget_denies_and_recovers() {
+        let cfg = FaultConfig::new(1).with_budget(10 * 1024);
+        let mut b = FaultBackend::new(RealSystemBackend::new(), cfg);
+        let (h1, _) = b.malloc(6 * 1024).unwrap();
+        match b.malloc(6 * 1024) {
+            Err(AllocError::Exhausted) => {}
+            other => panic!("expected budget denial, got {other:?}"),
+        }
+        assert_eq!(b.fault_stats().budget_denials, 1);
+        b.free(h1);
+        let (h2, _) = b.malloc(6 * 1024).expect("budget freed up");
+        b.free(h2);
+        assert_eq!(b.budget_live_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_tracks_realloc_delta() {
+        let cfg = FaultConfig::new(1).with_budget(10 * 1024);
+        let mut b = FaultBackend::new(RealSystemBackend::new(), cfg);
+        let (h, _) = b.malloc(4 * 1024).unwrap();
+        // Growing by 12K exceeds the budget; the original stays live.
+        match b.realloc(h, 16 * 1024) {
+            Err(AllocError::Exhausted) => {}
+            other => panic!("expected budget denial, got {other:?}"),
+        }
+        let (h, _) = b.realloc(h, 8 * 1024).expect("within budget");
+        assert_eq!(b.budget_live_bytes(), 8 * 1024);
+        b.free(h);
+    }
+
+    #[test]
+    fn spikes_elapse_on_the_clock_and_count() {
+        use crate::backend::{SimBackend, SimEnv};
+        use crate::traits::AllocatorKind;
+        use hermes_core::HermesConfig;
+        use hermes_os::config::OsConfig;
+        let env = SimEnv::new(OsConfig::small_test_node());
+        let inner = SimBackend::new(AllocatorKind::Glibc, &env, 5, &HermesConfig::default());
+        let spike = SimDuration::from_micros(500);
+        let cfg = FaultConfig::new(2).with_spikes(1.0, spike);
+        let mut b = FaultBackend::new(inner, cfg);
+        let t0 = env.now();
+        let (h, lat) = b.malloc(1024).unwrap();
+        assert!(lat >= spike, "latency includes the spike");
+        assert_eq!(env.now(), t0 + lat, "spike elapsed on the virtual clock");
+        assert_eq!(b.fault_stats().spikes, 1);
+        b.free(h);
+    }
+}

@@ -1,0 +1,144 @@
+//! Pressure scenarios with fault injection: the SLO-violation-vs-
+//! pressure matrix across every backend.
+//!
+//! A flash-crowd trace drives the Redis model into — and back out of —
+//! saturation on all six backends (four sims plus both real runtimes).
+//! The fault wrapper's byte budget makes exhaustion real everywhere,
+//! and a seeded exhaust-rate adds transient failures on top; the
+//! degradation layer answers with retry, eviction and criticality-
+//! tagged shedding. Rows are per (backend, pressure level); violation
+//! percentages are against each run's own green-level p90, so sim and
+//! real rows are each judged in their own time domain.
+
+use hermes_allocators::{AllocatorKind, BackendKind, FaultConfig};
+use hermes_bench::{header, pct, write_bench_pr_section, Checks};
+use hermes_services::{PressureLevel, ServiceKind};
+use hermes_sim::report::Table;
+use hermes_sim::time::SimDuration;
+use hermes_workloads::{run_scenario, ScenarioConfig, ScenarioResult, TraceKind};
+
+/// All six backends, sims first.
+fn backends() -> Vec<BackendKind> {
+    let mut out: Vec<BackendKind> = AllocatorKind::ALL
+        .iter()
+        .map(|&k| BackendKind::Sim(k))
+        .collect();
+    out.push(BackendKind::RealSystem);
+    out.push(BackendKind::RealHermes);
+    out
+}
+
+fn run_one(backend: BackendKind) -> ScenarioResult {
+    let mut cfg = ScenarioConfig::new(TraceKind::FlashCrowd, ServiceKind::Redis, backend, 42);
+    cfg.ticks = 32;
+    cfg.queries_per_tick = 16;
+    cfg.capacity_bytes = 32 << 20;
+    cfg.fault = Some(
+        FaultConfig::new(1042)
+            .with_exhaust_rate(0.02)
+            .with_spikes(0.02, SimDuration::from_micros(80)),
+    );
+    run_scenario(&cfg)
+}
+
+fn main() {
+    header(
+        "scenario",
+        "flash-crowd pressure scenario with fault injection (Redis, all backends)",
+    );
+    let results: Vec<ScenarioResult> = backends().into_iter().map(run_one).collect();
+
+    let mut t = Table::new([
+        "backend", "level", "queries", "ok", "degraded", "retried", "shed", "failed", "p50(us)",
+        "p99(us)", "viol%",
+    ]);
+    for r in &results {
+        for row in &r.levels {
+            t.row_vec(vec![
+                r.backend.label(),
+                row.level.label().to_string(),
+                row.counters.queries.to_string(),
+                row.counters.ok.to_string(),
+                row.counters.degraded.to_string(),
+                row.counters.retried.to_string(),
+                row.counters.shed.to_string(),
+                row.counters.failed.to_string(),
+                format!("{:.1}", row.p50.as_nanos() as f64 / 1e3),
+                format!("{:.1}", row.p99.as_nanos() as f64 / 1e3),
+                pct(row.violation_pct),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+
+    let mut checks = Checks::new();
+    for r in &results {
+        let label = r.backend.label();
+        let tot = r.totals;
+        checks.check(
+            &format!("{label}: every query accounted"),
+            "queries == ok+degraded+shed+failed",
+            &format!(
+                "{} == {}+{}+{}+{}",
+                tot.queries, tot.ok, tot.degraded, tot.shed, tot.failed
+            ),
+            tot.queries == tot.ok + tot.degraded + tot.shed + tot.failed && tot.queries > 0,
+        );
+        checks.check(
+            &format!("{label}: degradation engaged"),
+            "degraded, retried and shed all > 0",
+            &format!(
+                "degraded {} retried {} shed {}",
+                tot.degraded, tot.retried, tot.shed
+            ),
+            tot.degraded > 0 && tot.retried > 0 && tot.shed > 0,
+        );
+        checks.check(
+            &format!("{label}: spike reached red and drained"),
+            "ticks at red and at green both > 0",
+            &format!("{:?}", r.ticks_at),
+            r.ticks_at[PressureLevel::Red.idx()] > 0 && r.ticks_at[PressureLevel::Green.idx()] > 0,
+        );
+        checks.check(
+            &format!("{label}: faults were injected"),
+            "injected + budget denials > 0",
+            &format!("{:?}", r.fault),
+            r.fault.total_failures() > 0,
+        );
+    }
+    checks.finish();
+
+    // BENCH_PR.json rows: one entry per (backend, pressure level).
+    let mut rows = String::new();
+    for r in &results {
+        for row in &r.levels {
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"level\": \"{}\", \"queries\": {}, \"ok\": {}, \"degraded\": {}, \"retried\": {}, \"shed\": {}, \"failed\": {}, \"evicted_bytes\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"slo_ns\": {}, \"violation_pct\": {:.3}}}",
+                r.backend.label(),
+                row.level.label(),
+                row.counters.queries,
+                row.counters.ok,
+                row.counters.degraded,
+                row.counters.retried,
+                row.counters.shed,
+                row.counters.failed,
+                row.counters.evicted_bytes,
+                row.p50.as_nanos(),
+                row.p99.as_nanos(),
+                r.slo.as_nanos(),
+                row.violation_pct,
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"trace\": \"flash-crowd\",\n  \"service\": \"Redis\",\n  \"matrix\": [\n{rows}\n  ]\n}}\n"
+    );
+    write_bench_pr_section("scenario", &json);
+
+    if checks.failed() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -10,11 +10,14 @@
 //! backend-aware benches run the actual Hermes runtime and the system
 //! allocator on wall-clock time. With `--backend real` and no explicit
 //! subset, only the real-capable benches run.
+//!
+//! `--scenario` is shorthand for the pressure-scenario matrix: it runs
+//! the `scenario` bench, which always covers all six backends itself.
 
 use hermes_core::config::{default_arena_count, default_tcache_enabled};
 use std::process::Command;
 
-const BENCHES: [&str; 22] = [
+const BENCHES: [&str; 23] = [
     "fig02",
     "fig03",
     "fig07",
@@ -37,13 +40,16 @@ const BENCHES: [&str; 22] = [
     "contention",
     "real_alloc",
     "service_backend",
+    "scenario",
 ];
 
 /// Benches that exercise real memory and honour `HERMES_BACKEND=real`.
-const REAL_BENCHES: [&str; 3] = ["service_backend", "real_alloc", "contention"];
+const REAL_BENCHES: [&str; 4] = ["service_backend", "real_alloc", "contention", "scenario"];
 
 fn usage_exit() -> ! {
-    eprintln!("usage: repro_all [--backend sim|real] [bench...]\nknown benches: {BENCHES:?}");
+    eprintln!(
+        "usage: repro_all [--backend sim|real] [--scenario] [bench...]\nknown benches: {BENCHES:?}"
+    );
     std::process::exit(2);
 }
 
@@ -62,6 +68,8 @@ fn main() {
                 usage_exit();
             }
             backend = v.to_string();
+        } else if a == "--scenario" {
+            names.push("scenario".to_string());
         } else {
             names.push(a);
         }

@@ -29,6 +29,11 @@ pub enum AllocError {
     /// requires registration — e.g. a simulated allocator whose process
     /// was removed from the OS model.
     UnregisteredThread,
+    /// A file-backed operation named a file the substrate does not know.
+    /// Produced by the services' file stores, which share this error
+    /// vocabulary; distinct from [`AllocError::Exhausted`] so pressure
+    /// matrices attribute failures truthfully.
+    UnknownFile,
 }
 
 impl fmt::Display for AllocError {
@@ -42,6 +47,7 @@ impl fmt::Display for AllocError {
                 )
             }
             AllocError::UnregisteredThread => write!(f, "calling thread is not registered"),
+            AllocError::UnknownFile => write!(f, "file is not registered with the backing store"),
         }
     }
 }
@@ -227,6 +233,9 @@ mod tests {
         .to_string()
         .contains("exceeds"));
         assert!(AllocError::UnregisteredThread
+            .to_string()
+            .contains("not registered"));
+        assert!(AllocError::UnknownFile
             .to_string()
             .contains("not registered"));
     }

@@ -1,0 +1,531 @@
+//! Graceful degradation under allocation failure.
+//!
+//! The paper's services assume allocation succeeds; under real memory
+//! pressure it does not, and the right response depends on how loaded
+//! the node is and how important the request is. This module gives the
+//! services a typed degradation path in place of a panic:
+//!
+//! * [`PressureLevel`] — the discrete pressure scale (green → red) that
+//!   a threshold watcher derives from backend occupancy;
+//! * [`Criticality`] — per-request importance classes, after the
+//!   stall-aware criticality idea: best-effort traffic is the first to
+//!   be refused when the node is red;
+//! * [`DegradePolicy`] — bounded retry with exponential backoff and
+//!   criticality-tagged shedding knobs;
+//! * [`query_degraded`] — the driver: refuse → try → on `Exhausted`,
+//!   evict service memory ([`Service::shed_memory`]), back off, retry;
+//!   give up with a typed failure once the retry budget is spent.
+//!
+//! Every decision is counted per pressure level in [`DegradeCounters`],
+//! which the scenario engine turns into the SLO-violation-vs-pressure
+//! matrix.
+
+use crate::service::{QueryLatency, Service};
+use hermes_allocators::AllocError;
+use hermes_sim::clock::{Clock, ClockHandle};
+use hermes_sim::time::SimDuration;
+
+/// Discrete memory-pressure levels, ordered from relaxed to critical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PressureLevel {
+    /// Plenty of headroom; no degradation.
+    Green,
+    /// Occupancy is climbing; watch, but serve everything.
+    Yellow,
+    /// Headroom is thin; degraded serving is expected.
+    Orange,
+    /// The node is effectively full; shed best-effort work.
+    Red,
+}
+
+impl PressureLevel {
+    /// All levels, green first.
+    pub const ALL: [PressureLevel; 4] = [
+        PressureLevel::Green,
+        PressureLevel::Yellow,
+        PressureLevel::Orange,
+        PressureLevel::Red,
+    ];
+
+    /// Stable index into per-level arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            PressureLevel::Green => 0,
+            PressureLevel::Yellow => 1,
+            PressureLevel::Orange => 2,
+            PressureLevel::Red => 3,
+        }
+    }
+
+    /// Lower-case name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PressureLevel::Green => "green",
+            PressureLevel::Yellow => "yellow",
+            PressureLevel::Orange => "orange",
+            PressureLevel::Red => "red",
+        }
+    }
+}
+
+impl std::fmt::Display for PressureLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How important one request is when the node must choose what to drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Criticality {
+    /// Best-effort traffic (prefetch, analytics): first to be refused.
+    Low,
+    /// Ordinary user-facing traffic.
+    High,
+    /// Must-serve traffic (writes on the critical path, health checks).
+    Critical,
+}
+
+impl Criticality {
+    /// All classes, least critical first.
+    pub const ALL: [Criticality; 3] = [Criticality::Low, Criticality::High, Criticality::Critical];
+
+    /// Lower-case name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Criticality::Low => "low",
+            Criticality::High => "high",
+            Criticality::Critical => "critical",
+        }
+    }
+}
+
+impl std::fmt::Display for Criticality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Knobs of the degradation path.
+#[derive(Debug, Clone)]
+pub struct DegradePolicy {
+    /// Retries after the first `Exhausted` before giving up.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff: SimDuration,
+    /// Between retries, ask the service to shed `value_bytes *
+    /// evict_factor` — enough headroom that the retry has a real chance,
+    /// not just the failed request's own footprint.
+    pub evict_factor: usize,
+    /// At or above this level, [`Criticality::Low`] requests are refused
+    /// outright instead of competing for scarce memory.
+    pub refuse_low_at: PressureLevel,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            max_retries: 3,
+            backoff: SimDuration::from_micros(200),
+            evict_factor: 8,
+            refuse_low_at: PressureLevel::Red,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// Whether this request is refused without touching the allocator.
+    pub fn refuses(&self, level: PressureLevel, crit: Criticality) -> bool {
+        level >= self.refuse_low_at && crit == Criticality::Low
+    }
+}
+
+/// What happened to one degraded query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The query was served, possibly after retries and eviction.
+    Served {
+        /// End latency, already elapsed on the clock (includes backoff).
+        latency: QueryLatency,
+        /// Retries it took (0 = clean first try).
+        retries: u32,
+        /// Service bytes evicted to make room.
+        evicted_bytes: usize,
+    },
+    /// Refused up front by the criticality policy (load shedding).
+    Refused,
+    /// Gave up: retry budget spent or a non-retryable error.
+    Failed {
+        /// The final error.
+        error: AllocError,
+        /// Retries spent before giving up.
+        retries: u32,
+    },
+}
+
+/// Counters of degradation decisions at one pressure level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelCounters {
+    /// Queries attempted at this level (including refused ones).
+    pub queries: u64,
+    /// Served cleanly on the first try.
+    pub ok: u64,
+    /// Served, but only after retry and/or eviction.
+    pub degraded: u64,
+    /// Individual retry attempts spent.
+    pub retried: u64,
+    /// Refused by the criticality policy.
+    pub shed: u64,
+    /// Gave up with a typed error.
+    pub failed: u64,
+    /// Service bytes evicted to make queries fit.
+    pub evicted_bytes: u64,
+}
+
+/// Per-level degradation counters for one scenario run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradeCounters([LevelCounters; 4]);
+
+impl DegradeCounters {
+    /// Counters at one level.
+    pub fn level(&self, level: PressureLevel) -> &LevelCounters {
+        &self.0[level.idx()]
+    }
+
+    /// Mutable counters at one level.
+    pub fn level_mut(&mut self, level: PressureLevel) -> &mut LevelCounters {
+        &mut self.0[level.idx()]
+    }
+
+    /// Sum over all levels.
+    pub fn totals(&self) -> LevelCounters {
+        let mut t = LevelCounters::default();
+        for c in &self.0 {
+            t.queries += c.queries;
+            t.ok += c.ok;
+            t.degraded += c.degraded;
+            t.retried += c.retried;
+            t.shed += c.shed;
+            t.failed += c.failed;
+            t.evicted_bytes += c.evicted_bytes;
+        }
+        t
+    }
+}
+
+/// Elapses a backoff on the service's clock: virtual clocks advance,
+/// wall clocks burn the time for real (same convention as everywhere
+/// else — a reported latency has already happened).
+fn elapse(clock: &ClockHandle, d: SimDuration) {
+    if d == SimDuration::ZERO {
+        return;
+    }
+    if clock.is_virtual() {
+        clock.advance(d);
+    } else {
+        let t = std::time::Instant::now();
+        let target = std::time::Duration::from_nanos(d.as_nanos());
+        while t.elapsed() < target {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Runs one query through the degradation policy at the given pressure
+/// level, updating `counters`. This is the typed replacement for
+/// `query().unwrap()`:
+///
+/// 1. at/above [`DegradePolicy::refuse_low_at`], low-criticality
+///    requests are refused (counted as `shed`);
+/// 2. the query runs; [`AllocError::Exhausted`] triggers eviction via
+///    [`Service::shed_memory`], an exponential backoff, and a retry —
+///    up to [`DegradePolicy::max_retries`] times;
+/// 3. any other error, or an exhausted retry budget, returns
+///    [`QueryOutcome::Failed`] (counted as `failed`).
+pub fn query_degraded(
+    svc: &mut dyn Service,
+    value_bytes: usize,
+    crit: Criticality,
+    level: PressureLevel,
+    policy: &DegradePolicy,
+    counters: &mut DegradeCounters,
+) -> QueryOutcome {
+    counters.level_mut(level).queries += 1;
+    if policy.refuses(level, crit) {
+        counters.level_mut(level).shed += 1;
+        return QueryOutcome::Refused;
+    }
+    let clock = svc.backend().clock();
+    let mut retries = 0u32;
+    let mut evicted = 0usize;
+    let mut backoff_total = SimDuration::ZERO;
+    loop {
+        match svc.query(value_bytes) {
+            Ok(mut latency) => {
+                let c = counters.level_mut(level);
+                if retries == 0 {
+                    c.ok += 1;
+                } else {
+                    c.degraded += 1;
+                }
+                c.evicted_bytes += evicted as u64;
+                // The backoff is part of what the client waited for.
+                latency.insert += backoff_total;
+                return QueryOutcome::Served {
+                    latency,
+                    retries,
+                    evicted_bytes: evicted,
+                };
+            }
+            Err(AllocError::Exhausted) if retries < policy.max_retries => {
+                evicted += svc.shed_memory(value_bytes.saturating_mul(policy.evict_factor));
+                let backoff = policy.backoff.mul_f64((1u64 << retries) as f64);
+                elapse(&clock, backoff);
+                backoff_total += backoff;
+                retries += 1;
+                counters.level_mut(level).retried += 1;
+            }
+            Err(error) => {
+                counters.level_mut(level).failed += 1;
+                return QueryOutcome::Failed { error, retries };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_allocators::{AllocatorBackend, RealSystemBackend};
+
+    /// A service stub that fails its next `fail_next` queries with a
+    /// configurable error and records shed requests.
+    struct Flaky {
+        backend: RealSystemBackend,
+        fail_next: u32,
+        error: AllocError,
+        shed_targets: Vec<usize>,
+        stored: usize,
+    }
+
+    impl Flaky {
+        fn new(fail_next: u32, error: AllocError) -> Self {
+            Flaky {
+                backend: RealSystemBackend::new(),
+                fail_next,
+                error,
+                shed_targets: Vec::new(),
+                stored: 0,
+            }
+        }
+    }
+
+    impl Service for Flaky {
+        fn name(&self) -> &'static str {
+            "Flaky"
+        }
+
+        fn query(&mut self, value_bytes: usize) -> Result<QueryLatency, AllocError> {
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                return Err(self.error);
+            }
+            self.stored += value_bytes;
+            Ok(QueryLatency {
+                insert: SimDuration::from_micros(10),
+                read: SimDuration::from_micros(5),
+            })
+        }
+
+        fn delete_one(&mut self) -> SimDuration {
+            SimDuration::ZERO
+        }
+
+        fn shed_memory(&mut self, target: usize) -> usize {
+            self.shed_targets.push(target);
+            target.min(4096)
+        }
+
+        fn stored_bytes(&self) -> usize {
+            self.stored
+        }
+
+        fn advance(&mut self) {}
+
+        fn backend(&self) -> &dyn AllocatorBackend {
+            &self.backend
+        }
+
+        fn backend_mut(&mut self) -> &mut dyn AllocatorBackend {
+            &mut self.backend
+        }
+    }
+
+    #[test]
+    fn clean_query_counts_ok() {
+        let mut svc = Flaky::new(0, AllocError::Exhausted);
+        let mut counters = DegradeCounters::default();
+        let out = query_degraded(
+            &mut svc,
+            1024,
+            Criticality::High,
+            PressureLevel::Green,
+            &DegradePolicy::default(),
+            &mut counters,
+        );
+        assert!(matches!(
+            out,
+            QueryOutcome::Served {
+                retries: 0,
+                evicted_bytes: 0,
+                ..
+            }
+        ));
+        let c = counters.level(PressureLevel::Green);
+        assert_eq!((c.queries, c.ok, c.degraded, c.retried), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn exhausted_retries_with_eviction_then_serves_degraded() {
+        let mut svc = Flaky::new(2, AllocError::Exhausted);
+        let policy = DegradePolicy {
+            backoff: SimDuration::from_micros(1),
+            ..DegradePolicy::default()
+        };
+        let mut counters = DegradeCounters::default();
+        let out = query_degraded(
+            &mut svc,
+            1024,
+            Criticality::High,
+            PressureLevel::Orange,
+            &policy,
+            &mut counters,
+        );
+        match out {
+            QueryOutcome::Served {
+                retries,
+                evicted_bytes,
+                ..
+            } => {
+                assert_eq!(retries, 2);
+                assert!(evicted_bytes > 0);
+            }
+            other => panic!("expected degraded success, got {other:?}"),
+        }
+        assert_eq!(
+            svc.shed_targets,
+            vec![8 * 1024, 8 * 1024],
+            "evict target is value * evict_factor per retry"
+        );
+        let c = counters.level(PressureLevel::Orange);
+        assert_eq!((c.ok, c.degraded, c.retried, c.failed), (0, 1, 2, 0));
+        assert!(c.evicted_bytes > 0);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let mut svc = Flaky::new(100, AllocError::Exhausted);
+        let policy = DegradePolicy {
+            backoff: SimDuration::from_micros(1),
+            ..DegradePolicy::default()
+        };
+        let mut counters = DegradeCounters::default();
+        let out = query_degraded(
+            &mut svc,
+            1024,
+            Criticality::Critical,
+            PressureLevel::Red,
+            &policy,
+            &mut counters,
+        );
+        match out {
+            QueryOutcome::Failed { error, retries } => {
+                assert!(matches!(error, AllocError::Exhausted));
+                assert_eq!(retries, policy.max_retries);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        let c = counters.level(PressureLevel::Red);
+        assert_eq!((c.failed, c.retried), (1, u64::from(policy.max_retries)));
+    }
+
+    #[test]
+    fn low_criticality_is_refused_at_red() {
+        let mut svc = Flaky::new(0, AllocError::Exhausted);
+        let mut counters = DegradeCounters::default();
+        let out = query_degraded(
+            &mut svc,
+            1024,
+            Criticality::Low,
+            PressureLevel::Red,
+            &DegradePolicy::default(),
+            &mut counters,
+        );
+        assert_eq!(out, QueryOutcome::Refused);
+        assert_eq!(svc.stored_bytes(), 0, "the service was never touched");
+        let c = counters.level(PressureLevel::Red);
+        assert_eq!((c.queries, c.shed, c.ok), (1, 1, 0));
+        // The same request below the refusal level is served.
+        let out = query_degraded(
+            &mut svc,
+            1024,
+            Criticality::Low,
+            PressureLevel::Orange,
+            &DegradePolicy::default(),
+            &mut counters,
+        );
+        assert!(matches!(out, QueryOutcome::Served { .. }));
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_without_retry() {
+        let mut svc = Flaky::new(
+            100,
+            AllocError::Oversized {
+                requested: 1 << 40,
+                limit: 1 << 30,
+            },
+        );
+        let mut counters = DegradeCounters::default();
+        let out = query_degraded(
+            &mut svc,
+            1024,
+            Criticality::High,
+            PressureLevel::Green,
+            &DegradePolicy::default(),
+            &mut counters,
+        );
+        match out {
+            QueryOutcome::Failed { retries, .. } => assert_eq!(retries, 0),
+            other => panic!("expected immediate failure, got {other:?}"),
+        }
+        assert!(svc.shed_targets.is_empty(), "no eviction for a size error");
+        let c = counters.level(PressureLevel::Green);
+        assert_eq!((c.failed, c.retried), (1, 0));
+    }
+
+    #[test]
+    fn counters_total_across_levels() {
+        let mut counters = DegradeCounters::default();
+        for level in PressureLevel::ALL {
+            let c = counters.level_mut(level);
+            c.queries = 2;
+            c.ok = 1;
+            c.degraded = 1;
+        }
+        let t = counters.totals();
+        assert_eq!((t.queries, t.ok, t.degraded), (8, 4, 4));
+    }
+
+    #[test]
+    fn pressure_levels_are_ordered_and_labelled() {
+        assert!(PressureLevel::Green < PressureLevel::Red);
+        assert!(PressureLevel::Orange < PressureLevel::Red);
+        for (i, level) in PressureLevel::ALL.iter().enumerate() {
+            assert_eq!(level.idx(), i);
+            assert_eq!(level.to_string(), level.label());
+        }
+        for crit in Criticality::ALL {
+            assert_eq!(crit.to_string(), crit.label());
+        }
+    }
+}

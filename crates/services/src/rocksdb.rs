@@ -61,9 +61,12 @@ pub struct RocksdbModel<B: AllocatorBackend> {
     files: Box<dyn FileStore>,
     costs: RocksdbCosts,
     wal: FileId,
-    ssts: Vec<FileId>,
+    /// Live SST files and the page-cache bytes each one populated.
+    ssts: Vec<(FileId, usize)>,
     /// Live arena blocks backing the current memtable.
     arena_blocks: Vec<AllocHandle>,
+    /// Allocator bytes held by the memtable arena (blocks + nodes).
+    arena_bytes: usize,
     arena_left: usize,
     memtable_bytes: usize,
     stored: usize,
@@ -98,6 +101,7 @@ impl<B: AllocatorBackend> RocksdbModel<B> {
             wal,
             ssts: Vec::new(),
             arena_blocks: Vec::new(),
+            arena_bytes: 0,
             arena_left: 0,
             memtable_bytes: 0,
             stored: 0,
@@ -130,15 +134,16 @@ impl<B: AllocatorBackend> RocksdbModel<B> {
         // the SST write must not advance the foreground clock.
         if let Ok(sst) = self.files.create() {
             let _ = self.files.write_background(sst, self.memtable_bytes);
-            self.ssts.push(sst);
+            self.ssts.push((sst, self.memtable_bytes));
         }
         for h in std::mem::take(&mut self.arena_blocks) {
             self.backend.free(h);
         }
+        self.arena_bytes = 0;
         self.arena_left = 0;
         self.memtable_bytes = 0;
         while self.ssts.len() > self.costs.max_ssts {
-            let victim = self.ssts.remove(0);
+            let (victim, _) = self.ssts.remove(0);
             self.files.delete(victim);
         }
         self.clock.advance(self.costs.flush_stall);
@@ -161,6 +166,7 @@ impl<B: AllocatorBackend> Service for RocksdbModel<B> {
         // Every insert allocates a skiplist node + key slice (small path).
         let (node, node_lat) = self.backend.malloc(48 + 24)?;
         self.arena_blocks.push(node);
+        self.arena_bytes += 48 + 24;
         insert += node_lat;
         if self.arena_left < value_bytes {
             // New arena block through the allocator (mmap path for the
@@ -169,6 +175,7 @@ impl<B: AllocatorBackend> Service for RocksdbModel<B> {
             let (h, lat) = self.backend.malloc(block)?;
             insert += lat;
             self.arena_blocks.push(h);
+            self.arena_bytes += block;
             self.arena_left = block;
         }
         self.arena_left -= value_bytes;
@@ -204,7 +211,7 @@ impl<B: AllocatorBackend> Service for RocksdbModel<B> {
             self.clock.advance(copy);
         } else {
             let idx = self.rng.index(self.ssts.len());
-            let sst = self.ssts[idx];
+            let sst = self.ssts[idx].0;
             read += self.files.read(sst, value_bytes)?;
             let copy = self.copy_cost(value_bytes.min(16 * 1024));
             read += copy;
@@ -220,6 +227,26 @@ impl<B: AllocatorBackend> Service for RocksdbModel<B> {
         self.costs.lookup
     }
 
+    fn shed_memory(&mut self, target: usize) -> usize {
+        let mut freed = 0;
+        // Page cache first: dropping an old SST's cached pages costs no
+        // foreground work and no durability (the model's SSTs are
+        // re-readable), exactly the "drop clean memory first" policy.
+        while freed < target && !self.ssts.is_empty() {
+            let (victim, bytes) = self.ssts.remove(0);
+            self.files.delete(victim);
+            freed += bytes;
+        }
+        // Still short: release the memtable arena with an early flush
+        // (RocksDB's own response to memory pressure). This returns the
+        // arena blocks to the allocator at the cost of a flush stall.
+        if freed < target && self.memtable_bytes > 0 {
+            freed += self.arena_bytes;
+            self.flush();
+        }
+        freed
+    }
+
     fn stored_bytes(&self) -> usize {
         self.stored
     }
@@ -230,6 +257,10 @@ impl<B: AllocatorBackend> Service for RocksdbModel<B> {
 
     fn backend(&self) -> &dyn AllocatorBackend {
         &self.backend
+    }
+
+    fn backend_mut(&mut self) -> &mut dyn AllocatorBackend {
+        &mut self.backend
     }
 }
 
@@ -258,7 +289,9 @@ mod tests {
         let (env, mut r) = rocks(AllocatorKind::Glibc);
         let mut lats = Vec::new();
         for _ in 0..500 {
-            let q = r.query(1024).unwrap();
+            let q = r
+                .query(1024)
+                .unwrap_or_else(|e| panic!("dedicated small query must not fail: {e}"));
             lats.push(q.total().as_nanos());
             env.clock.advance(SimDuration::from_micros(2));
         }
@@ -277,14 +310,18 @@ mod tests {
         let (_env, mut r) = rocks(AllocatorKind::Glibc);
         let mut small_share = Vec::new();
         for _ in 0..300 {
-            let q = r.query(1024).unwrap();
+            let q = r
+                .query(1024)
+                .unwrap_or_else(|e| panic!("small insert must not exhaust: {e}"));
             small_share.push(q.insert_share());
         }
         let avg_small: f64 = small_share.iter().sum::<f64>() / small_share.len() as f64;
         let (_env2, mut r2) = rocks(AllocatorKind::Glibc);
         let mut large_share = Vec::new();
         for _ in 0..100 {
-            let q = r2.query(200 * 1024).unwrap();
+            let q = r2
+                .query(200 * 1024)
+                .unwrap_or_else(|e| panic!("large insert must not exhaust: {e}"));
             large_share.push(q.insert_share());
         }
         let avg_large: f64 = large_share.iter().sum::<f64>() / large_share.len() as f64;
@@ -299,7 +336,8 @@ mod tests {
         // Shrink the memtable so the test flushes quickly.
         r.costs_mut().memtable_cap = 1 << 20;
         for _ in 0..30 {
-            r.query(64 * 1024).unwrap();
+            r.query(64 * 1024)
+                .unwrap_or_else(|e| panic!("flush-path query must not fail: {e}"));
         }
         assert!(!r.ssts.is_empty(), "flush created SSTs");
         assert!(r.memtable_bytes < (1 << 20));
@@ -317,7 +355,9 @@ mod tests {
         for _ in 0..40 {
             let before = r.sst_count();
             let t0 = env.now();
-            let q = r.query(64 * 1024).unwrap();
+            let q = r
+                .query(64 * 1024)
+                .unwrap_or_else(|e| panic!("flush-path query must not fail: {e}"));
             let elapsed = env.now().duration_since(t0);
             // The SST write is background work: the clock may exceed the
             // reported foreground latency only by the (tiny) arena-block
@@ -340,7 +380,8 @@ mod tests {
         r.costs_mut().memtable_cap = 256 * 1024;
         r.costs_mut().max_ssts = 3;
         for _ in 0..60 {
-            r.query(64 * 1024).unwrap();
+            r.query(64 * 1024)
+                .unwrap_or_else(|e| panic!("compaction-path query must not fail: {e}"));
         }
         assert!(r.ssts.len() <= 3);
     }
@@ -349,8 +390,34 @@ mod tests {
     fn works_with_every_allocator() {
         for kind in AllocatorKind::ALL {
             let (_env, mut r) = rocks(kind);
-            let q = r.query(200 * 1024).unwrap();
+            let q = r
+                .query(200 * 1024)
+                .unwrap_or_else(|e| panic!("{kind}: query must not exhaust: {e}"));
             assert!(q.total() > SimDuration::ZERO, "{kind}");
         }
+    }
+
+    #[test]
+    fn shed_memory_drops_page_cache_then_memtable() {
+        let (env, mut r) = rocks(AllocatorKind::Glibc);
+        r.costs_mut().memtable_cap = 512 * 1024;
+        for _ in 0..20 {
+            r.query(64 * 1024)
+                .unwrap_or_else(|e| panic!("warm-up query must not fail: {e}"));
+        }
+        assert!(r.sst_count() > 0, "warm-up produced SSTs");
+        let cached_before = env.os().file_cached_pages();
+        let ssts_before = r.sst_count();
+        // Small target: only clean page-cache memory is dropped.
+        let freed = r.shed_memory(256 * 1024);
+        assert!(freed >= 256 * 1024, "freed {freed}");
+        assert!(r.sst_count() < ssts_before, "oldest SSTs evicted");
+        assert!(env.os().file_cached_pages() < cached_before);
+        // Huge target: the memtable arena is also flushed out.
+        let freed_all = r.shed_memory(usize::MAX);
+        assert!(freed_all > 0);
+        assert_eq!(r.memtable_bytes(), 0, "arena released by early flush");
+        r.query(1024)
+            .expect("service still serves after a full shed");
     }
 }

@@ -57,6 +57,16 @@ pub trait Service {
     /// already elapsed on the clock.
     fn delete_one(&mut self) -> SimDuration;
 
+    /// Releases service memory under pressure, lowest-value first (page
+    /// cache and bulk value memory before metadata), until roughly
+    /// `target` bytes have been returned or nothing sheddable remains.
+    /// Returns the bytes actually released. The degradation layer calls
+    /// this between retries of an [`AllocError::Exhausted`] query.
+    fn shed_memory(&mut self, target: usize) -> usize {
+        let _ = target;
+        0
+    }
+
     /// Bytes of user data currently stored.
     fn stored_bytes(&self) -> usize;
 
@@ -65,6 +75,10 @@ pub trait Service {
 
     /// The underlying backend (for stats and overhead inspection).
     fn backend(&self) -> &dyn AllocatorBackend;
+
+    /// Mutable access to the backend, for pressure generators that share
+    /// the service's substrate (scenario ballast, colocated tenants).
+    fn backend_mut(&mut self) -> &mut dyn AllocatorBackend;
 }
 
 #[cfg(test)]

@@ -1,0 +1,589 @@
+//! Pressure scenarios: deterministic traces that drive a service into —
+//! and back out of — memory exhaustion, with the degradation layer
+//! engaged.
+//!
+//! The colocation experiments hold pressure constant per run; production
+//! incidents do not. A [`TraceKind`] describes how offered load and
+//! foreign memory pressure ("ballast": colocated tenants, batch jobs)
+//! evolve over a run — a diurnal curve, a flash crowd, tenant churn, a
+//! batch job inflating and collapsing. [`run_scenario`] replays the
+//! trace over any [`BackendKind`]:
+//!
+//! * the service is built by `build_service_faulted`, wrapped in a
+//!   `FaultBackend` whose **byte budget equals the scenario capacity**,
+//!   so every backend — including the real ones — genuinely exhausts
+//!   and recovers at scenario scale (extra injected faults compose);
+//! * ballast is allocated through the *service's own backend*
+//!   ([`hermes_services::Service::backend_mut`]), so pressure and
+//!   queries compete for the same bytes;
+//! * a [`ThresholdWatcher`] samples [`BackendStats`] occupancy into the
+//!   discrete [`PressureLevel`] scale, and every query runs through
+//!   [`hermes_services::query_degraded`] at the current level;
+//! * results come back as one [`LevelRow`] per pressure level — the
+//!   SLO-violation-vs-pressure matrix of the scenario bench.
+//!
+//! Value sizes follow the key-value-store studies' shape: mostly ~1 KB
+//! records, a quarter in the tens of kilobytes, a thin 100 KB+ tail.
+
+use hermes_allocators::{AllocHandle, BackendKind, BackendStats, FaultConfig, FaultStats, SimEnv};
+use hermes_core::HermesConfig;
+use hermes_os::config::OsConfig;
+use hermes_services::{
+    build_service_faulted, query_degraded, Criticality, DegradeCounters, DegradePolicy,
+    LevelCounters, PressureLevel, QueryOutcome, ServiceKind,
+};
+use hermes_sim::clock::Clock;
+use hermes_sim::rng::DetRng;
+use hermes_sim::stats::LatencyRecorder;
+use hermes_sim::time::SimDuration;
+
+/// One point of a trace: offered load and foreign memory pressure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Fraction of the per-tick query budget that actually arrives.
+    pub load: f64,
+    /// Fraction of the scenario capacity held as foreign ballast.
+    pub ballast: f64,
+}
+
+/// The shape of a pressure scenario over one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A day's sinusoidal load curve; pressure follows load.
+    Diurnal,
+    /// Quiet baseline with a sudden spike to saturation mid-run.
+    FlashCrowd,
+    /// Tenants arriving and departing in steps, each holding memory.
+    TenantChurn,
+    /// A colocated batch job inflating to near-capacity, then collapsing.
+    BatchInflate,
+}
+
+impl TraceKind {
+    /// All trace shapes.
+    pub const ALL: [TraceKind; 4] = [
+        TraceKind::Diurnal,
+        TraceKind::FlashCrowd,
+        TraceKind::TenantChurn,
+        TraceKind::BatchInflate,
+    ];
+
+    /// Lower-case name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Diurnal => "diurnal",
+            TraceKind::FlashCrowd => "flash-crowd",
+            TraceKind::TenantChurn => "tenant-churn",
+            TraceKind::BatchInflate => "batch-inflate",
+        }
+    }
+
+    /// The trace value at `frac` ∈ [0, 1) of the run. Deterministic up
+    /// to the caller's RNG stream: the same seed replays the same trace.
+    pub fn point(self, frac: f64, rng: &mut DetRng) -> TracePoint {
+        let jitter = 1.0 + (rng.unit() - 0.5) * 0.08;
+        let (load, ballast) = match self {
+            TraceKind::Diurnal => {
+                // One day: trough at frac 0, peak at frac 0.5.
+                let phase = (frac * std::f64::consts::TAU - std::f64::consts::FRAC_PI_2).sin();
+                let load = 0.55 + 0.45 * phase;
+                (load, 0.25 + 0.68 * load)
+            }
+            TraceKind::FlashCrowd => {
+                // Quiet baseline, a steep ramp into saturation, a
+                // plateau, a decay — the ramps walk occupancy through
+                // every intermediate pressure level on the way.
+                let ballast = match frac {
+                    f if f < 0.30 => 0.30,
+                    f if f < 0.45 => 0.30 + (f - 0.30) / 0.15 * 0.67,
+                    f if f < 0.60 => 0.97,
+                    f if f < 0.75 => 0.97 - (f - 0.60) / 0.15 * 0.67,
+                    _ => 0.30,
+                };
+                let load = if (0.30..0.75).contains(&frac) {
+                    1.0
+                } else {
+                    0.25
+                };
+                (load, ballast)
+            }
+            TraceKind::TenantChurn => {
+                // Tenant count steps 1→5→3→6→2 across the run.
+                let tenants = match (frac * 5.0) as usize {
+                    0 => 1,
+                    1 => 5,
+                    2 => 3,
+                    3 => 6,
+                    _ => 2,
+                };
+                (0.5, tenants as f64 / 6.0 * 0.95)
+            }
+            TraceKind::BatchInflate => {
+                // Linear inflate to near-capacity, collapse at 80 %.
+                let ballast = if frac < 0.8 {
+                    0.10 + frac / 0.8 * 0.87
+                } else {
+                    0.10
+                };
+                (0.4, ballast)
+            }
+        };
+        TracePoint {
+            load: (load * jitter).clamp(0.05, 1.0),
+            ballast: ballast.clamp(0.0, 0.97),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies backend occupancy into discrete [`PressureLevel`]s and
+/// counts how long the run spent at each.
+#[derive(Debug, Clone)]
+pub struct ThresholdWatcher {
+    /// The byte capacity occupancy is measured against.
+    pub capacity: usize,
+    /// Occupancy fractions where yellow, orange and red begin.
+    pub thresholds: [f64; 3],
+    ticks: [u64; 4],
+}
+
+impl ThresholdWatcher {
+    /// A watcher over `capacity` bytes with the default 50/75/90 %
+    /// level boundaries.
+    pub fn new(capacity: usize) -> Self {
+        ThresholdWatcher {
+            capacity: capacity.max(1),
+            thresholds: [0.50, 0.75, 0.90],
+            ticks: [0; 4],
+        }
+    }
+
+    /// The pressure level implied by a stats snapshot's live bytes.
+    pub fn classify(&self, stats: &BackendStats) -> PressureLevel {
+        let occupancy = stats.live_bytes as f64 / self.capacity as f64;
+        if occupancy >= self.thresholds[2] {
+            PressureLevel::Red
+        } else if occupancy >= self.thresholds[1] {
+            PressureLevel::Orange
+        } else if occupancy >= self.thresholds[0] {
+            PressureLevel::Yellow
+        } else {
+            PressureLevel::Green
+        }
+    }
+
+    /// Classifies and counts one sampling tick at the resulting level.
+    pub fn observe(&mut self, stats: &BackendStats) -> PressureLevel {
+        let level = self.classify(stats);
+        self.ticks[level.idx()] += 1;
+        level
+    }
+
+    /// Sampling ticks spent at `level` so far.
+    pub fn ticks_at(&self, level: PressureLevel) -> u64 {
+        self.ticks[level.idx()]
+    }
+}
+
+/// Draws a value size from the production-like mixture: ~70 % small
+/// (≈1 KB), ~25 % medium (8–32 KB), ~5 % large (64–256 KB).
+pub fn sample_value_bytes(rng: &mut DetRng) -> usize {
+    let u = rng.unit();
+    if u < 0.70 {
+        rng.range(256, 2048) as usize
+    } else if u < 0.95 {
+        rng.range(8 * 1024, 32 * 1024) as usize
+    } else {
+        rng.range(64 * 1024, 256 * 1024) as usize
+    }
+}
+
+/// Draws a request criticality: ~25 % best-effort, ~55 % user-facing,
+/// ~20 % must-serve.
+pub fn sample_criticality(rng: &mut DetRng) -> Criticality {
+    let u = rng.unit();
+    if u < 0.25 {
+        Criticality::Low
+    } else if u < 0.80 {
+        Criticality::High
+    } else {
+        Criticality::Critical
+    }
+}
+
+/// Configuration of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The trace shape to replay.
+    pub trace: TraceKind,
+    /// The service under test.
+    pub service: ServiceKind,
+    /// The backend it runs on.
+    pub backend: BackendKind,
+    /// Trace resolution: how many points the trace is sampled at.
+    pub ticks: usize,
+    /// Query budget per tick (scaled by the trace's load).
+    pub queries_per_tick: usize,
+    /// Seed for the trace, traffic and injection RNGs.
+    pub seed: u64,
+    /// The scenario's memory capacity: the fault wrapper's byte budget
+    /// and the watcher's occupancy denominator.
+    pub capacity_bytes: usize,
+    /// Extra fault injection composed onto the capacity budget
+    /// (`None` = budget only).
+    pub fault: Option<FaultConfig>,
+    /// The degradation policy queries run under.
+    pub policy: DegradePolicy,
+    /// Runtime config for Hermes-family backends.
+    pub hermes: HermesConfig,
+    /// SLO threshold; `None` derives it from this run's green-level p90.
+    pub slo: Option<SimDuration>,
+}
+
+impl ScenarioConfig {
+    /// A short scenario with the default capacity (48 MiB), policy and
+    /// trace resolution.
+    pub fn new(trace: TraceKind, service: ServiceKind, backend: BackendKind, seed: u64) -> Self {
+        ScenarioConfig {
+            trace,
+            service,
+            backend,
+            ticks: 48,
+            queries_per_tick: 24,
+            seed,
+            capacity_bytes: 48 << 20,
+            fault: None,
+            policy: DegradePolicy::default(),
+            hermes: HermesConfig::default(),
+            slo: None,
+        }
+    }
+}
+
+/// One row of the SLO-violation-vs-pressure matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelRow {
+    /// The pressure level this row aggregates.
+    pub level: PressureLevel,
+    /// Degradation decisions taken at this level.
+    pub counters: LevelCounters,
+    /// Median latency of queries *served* at this level.
+    pub p50: SimDuration,
+    /// 99th-percentile latency of queries served at this level.
+    pub p99: SimDuration,
+    /// Served queries exceeding the SLO, in percent.
+    pub violation_pct: f64,
+    /// Served-query samples behind the percentiles.
+    pub samples: usize,
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The trace that was replayed.
+    pub trace: TraceKind,
+    /// The service under test.
+    pub service: ServiceKind,
+    /// The backend it ran on.
+    pub backend: BackendKind,
+    /// One row per pressure level, green first — always all four.
+    pub levels: Vec<LevelRow>,
+    /// Watcher ticks spent at each level, green first.
+    pub ticks_at: [u64; 4],
+    /// What the fault wrapper injected (budget denials included).
+    pub fault: FaultStats,
+    /// The SLO threshold the violation percentages are against.
+    pub slo: SimDuration,
+    /// Counters summed over all levels.
+    pub totals: LevelCounters,
+}
+
+impl ScenarioResult {
+    /// The row for one level (always present).
+    pub fn level(&self, level: PressureLevel) -> &LevelRow {
+        &self.levels[level.idx()]
+    }
+}
+
+/// Replays `cfg.trace` against a freshly built service and returns the
+/// per-pressure-level matrix. Deterministic for a given config on sim
+/// backends; on real backends the *decisions* (injection schedule,
+/// traffic) are deterministic while latencies are measured.
+///
+/// # Panics
+///
+/// Panics if the service cannot be built (e.g. a sim backend's
+/// substrate fails set-up) — never on allocation failure, which is the
+/// behaviour under test.
+pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    const BALLAST_BLOCK: usize = 1 << 20;
+    let env = matches!(cfg.backend, BackendKind::Sim(_)).then(|| {
+        SimEnv::new(OsConfig {
+            seed: cfg.seed,
+            ..OsConfig::paper_node()
+        })
+    });
+    // The budget makes `Exhausted` real on every backend: the wrapper
+    // refuses growth past the scenario capacity until memory is freed.
+    let mut fault = cfg
+        .fault
+        .clone()
+        .unwrap_or_else(|| FaultConfig::new(cfg.seed ^ 0xfa17));
+    if fault.budget_bytes.is_none() {
+        fault = fault.with_budget(cfg.capacity_bytes);
+    }
+    let probe = fault.probe.clone();
+    let mut svc = build_service_faulted(
+        cfg.service,
+        cfg.backend,
+        env.as_ref(),
+        cfg.seed,
+        &cfg.hermes,
+        Some(&fault),
+    )
+    .expect("scenario service set-up");
+    let clock = svc.backend().clock();
+    let mut rng = DetRng::new(cfg.seed, "scenario");
+    let mut watcher = ThresholdWatcher::new(cfg.capacity_bytes);
+    let mut counters = DegradeCounters::default();
+    let mut recs: Vec<LatencyRecorder> = PressureLevel::ALL
+        .iter()
+        .map(|l| LatencyRecorder::new(format!("{}-{}", cfg.trace, l)))
+        .collect();
+    let mut ballast: Vec<AllocHandle> = Vec::new();
+
+    for tick in 0..cfg.ticks {
+        let frac = tick as f64 / cfg.ticks.max(1) as f64;
+        let point = cfg.trace.point(frac, &mut rng);
+        // Foreign pressure shares the service's backend: grow or shrink
+        // the ballast toward the trace's target. Growth is best-effort —
+        // a denial means the node is already saturated, which is the
+        // pressure we wanted.
+        let target_blocks = (point.ballast * cfg.capacity_bytes as f64) as usize / BALLAST_BLOCK;
+        while ballast.len() > target_blocks {
+            let h = ballast.pop().expect("non-empty ballast");
+            svc.backend_mut().free(h);
+        }
+        while ballast.len() < target_blocks {
+            match svc.backend_mut().malloc(BALLAST_BLOCK) {
+                Ok((h, _)) => ballast.push(h),
+                Err(_) => break,
+            }
+        }
+        let queries = ((point.load * cfg.queries_per_tick as f64).round() as usize).max(1);
+        for _ in 0..queries {
+            let level = watcher.classify(&svc.backend().stats());
+            let value = sample_value_bytes(&mut rng);
+            let crit = sample_criticality(&mut rng);
+            match query_degraded(svc.as_mut(), value, crit, level, &cfg.policy, &mut counters) {
+                QueryOutcome::Served { latency, .. } => {
+                    recs[level.idx()].record(latency.total());
+                }
+                QueryOutcome::Refused | QueryOutcome::Failed { .. } => {}
+            }
+            clock.advance(SimDuration::from_micros(5));
+            if rng.chance(0.125) {
+                svc.delete_one();
+            }
+        }
+        watcher.observe(&svc.backend().stats());
+    }
+    for h in ballast {
+        svc.backend_mut().free(h);
+    }
+
+    let slo = cfg.slo.unwrap_or_else(|| {
+        // The green-level p90 is this scenario's "dedicated" baseline;
+        // if the run never saw green, fall back to the overall p90.
+        if !recs[0].is_empty() {
+            recs[0].percentile(0.90)
+        } else {
+            let mut all = LatencyRecorder::new("all");
+            for r in &recs {
+                all.merge(r);
+            }
+            if all.is_empty() {
+                SimDuration::from_micros(1)
+            } else {
+                all.percentile(0.90)
+            }
+        }
+    });
+    let levels: Vec<LevelRow> = PressureLevel::ALL
+        .iter()
+        .map(|&level| {
+            let rec = &mut recs[level.idx()];
+            let samples = rec.len();
+            let (p50, p99, violation_pct) = if samples > 0 {
+                (
+                    rec.percentile(0.50),
+                    rec.percentile(0.99),
+                    rec.violation_ratio(slo) * 100.0,
+                )
+            } else {
+                (SimDuration::ZERO, SimDuration::ZERO, 0.0)
+            };
+            LevelRow {
+                level,
+                counters: *counters.level(level),
+                p50,
+                p99,
+                violation_pct,
+                samples,
+            }
+        })
+        .collect();
+    ScenarioResult {
+        trace: cfg.trace,
+        service: cfg.service,
+        backend: cfg.backend,
+        levels,
+        ticks_at: [
+            watcher.ticks_at(PressureLevel::Green),
+            watcher.ticks_at(PressureLevel::Yellow),
+            watcher.ticks_at(PressureLevel::Orange),
+            watcher.ticks_at(PressureLevel::Red),
+        ],
+        fault: probe.snapshot(),
+        slo,
+        totals: counters.totals(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_allocators::AllocatorKind;
+
+    #[test]
+    fn watcher_boundaries_are_half_open() {
+        let w = ThresholdWatcher::new(100);
+        let at = |live_bytes| BackendStats {
+            live_bytes,
+            ..BackendStats::default()
+        };
+        assert_eq!(w.classify(&at(0)), PressureLevel::Green);
+        assert_eq!(w.classify(&at(49)), PressureLevel::Green);
+        assert_eq!(w.classify(&at(50)), PressureLevel::Yellow);
+        assert_eq!(w.classify(&at(74)), PressureLevel::Yellow);
+        assert_eq!(w.classify(&at(75)), PressureLevel::Orange);
+        assert_eq!(w.classify(&at(90)), PressureLevel::Red);
+        assert_eq!(w.classify(&at(1000)), PressureLevel::Red);
+    }
+
+    #[test]
+    fn watcher_counts_ticks_per_level() {
+        let mut w = ThresholdWatcher::new(100);
+        for live_bytes in [10, 20, 60, 95] {
+            w.observe(&BackendStats {
+                live_bytes,
+                ..BackendStats::default()
+            });
+        }
+        assert_eq!(w.ticks_at(PressureLevel::Green), 2);
+        assert_eq!(w.ticks_at(PressureLevel::Yellow), 1);
+        assert_eq!(w.ticks_at(PressureLevel::Red), 1);
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_bounded() {
+        for trace in TraceKind::ALL {
+            let mut a = DetRng::new(9, "trace");
+            let mut b = DetRng::new(9, "trace");
+            for tick in 0..50 {
+                let frac = tick as f64 / 50.0;
+                let pa = trace.point(frac, &mut a);
+                let pb = trace.point(frac, &mut b);
+                assert_eq!(pa, pb, "{trace} replays identically");
+                assert!((0.0..=1.0).contains(&pa.load), "{trace} load {}", pa.load);
+                assert!(
+                    (0.0..=0.97).contains(&pa.ballast),
+                    "{trace} ballast {}",
+                    pa.ballast
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_trace_reaches_high_pressure() {
+        // Each shape must push ballast past the red threshold at some
+        // point, or the matrix's red row would be structurally empty.
+        for trace in TraceKind::ALL {
+            let mut rng = DetRng::new(3, "trace-peak");
+            let peak = (0..50)
+                .map(|t| trace.point(t as f64 / 50.0, &mut rng).ballast)
+                .fold(0.0, f64::max);
+            assert!(peak >= 0.90, "{trace} peaks at {peak:.2}");
+        }
+    }
+
+    #[test]
+    fn value_mixture_is_mostly_small_with_a_large_tail() {
+        let mut rng = DetRng::new(1, "values");
+        let sizes: Vec<usize> = (0..2000).map(|_| sample_value_bytes(&mut rng)).collect();
+        let small = sizes.iter().filter(|&&s| s < 8 * 1024).count();
+        let large = sizes.iter().filter(|&&s| s >= 64 * 1024).count();
+        assert!(small > 1200, "small {small}");
+        assert!(large > 20 && large < 300, "large {large}");
+        assert!(sizes.iter().all(|&s| (256..256 * 1024).contains(&s)));
+    }
+
+    #[test]
+    fn flash_crowd_scenario_runs_on_a_sim_backend() {
+        let mut cfg = ScenarioConfig::new(
+            TraceKind::FlashCrowd,
+            ServiceKind::Redis,
+            BackendKind::Sim(AllocatorKind::Hermes),
+            42,
+        );
+        cfg.ticks = 24;
+        cfg.queries_per_tick = 24;
+        cfg.capacity_bytes = 16 << 20;
+        let r = run_scenario(&cfg);
+        assert_eq!(r.levels.len(), 4, "all levels present");
+        let t = r.totals;
+        assert_eq!(
+            t.queries,
+            t.ok + t.degraded + t.shed + t.failed,
+            "every query is accounted exactly once"
+        );
+        assert!(t.queries > 0);
+        assert!(r.ticks_at.iter().sum::<u64>() == 24, "one sample per tick");
+        assert!(
+            r.fault.total_failures() > 0,
+            "the capacity budget made exhaustion real"
+        );
+        assert!(r.slo > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scenarios_replay_bit_identically_on_sims() {
+        let cfg = {
+            let mut c = ScenarioConfig::new(
+                TraceKind::Diurnal,
+                ServiceKind::Rocksdb,
+                BackendKind::Sim(AllocatorKind::Glibc),
+                7,
+            );
+            c.ticks = 16;
+            c.queries_per_tick = 8;
+            c.capacity_bytes = 16 << 20;
+            c
+        };
+        let a = run_scenario(&cfg);
+        let b = run_scenario(&cfg);
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.fault, b.fault);
+        assert_eq!(a.ticks_at, b.ticks_at);
+        for (ra, rb) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(ra.counters, rb.counters);
+            assert_eq!(ra.p99, rb.p99);
+        }
+    }
+}

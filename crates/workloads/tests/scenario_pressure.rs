@@ -1,0 +1,86 @@
+//! Acceptance test for the pressure-scenario engine: a seeded flash
+//! crowd with fault injection must complete on the *real* Hermes
+//! runtime without panicking, exercising every stage of the degradation
+//! path — retries, eviction, load shedding — and reporting all four
+//! pressure levels.
+
+use hermes_allocators::{BackendKind, FaultConfig};
+use hermes_services::{PressureLevel, ServiceKind};
+use hermes_sim::time::SimDuration;
+use hermes_workloads::{run_scenario, ScenarioConfig, TraceKind};
+
+#[test]
+fn flash_crowd_with_faults_degrades_gracefully_on_real_hermes() {
+    let mut cfg = ScenarioConfig::new(
+        TraceKind::FlashCrowd,
+        ServiceKind::Redis,
+        BackendKind::RealHermes,
+        2024,
+    );
+    cfg.ticks = 24;
+    cfg.queries_per_tick = 16;
+    cfg.capacity_bytes = 24 << 20;
+    cfg.fault = Some(
+        FaultConfig::new(99)
+            .with_exhaust_rate(0.03)
+            .with_spikes(0.02, SimDuration::from_micros(50)),
+    );
+    let r = run_scenario(&cfg);
+
+    assert_eq!(r.levels.len(), 4, "matrix row per pressure level");
+    for (row, level) in r.levels.iter().zip(PressureLevel::ALL) {
+        assert_eq!(row.level, level, "rows are ordered green first");
+    }
+    let t = r.totals;
+    assert_eq!(
+        t.queries,
+        t.ok + t.degraded + t.shed + t.failed,
+        "every query accounted exactly once: {t:?}"
+    );
+    assert!(t.ok > 0, "the quiet phases served cleanly: {t:?}");
+    assert!(t.degraded > 0, "some queries recovered via retry: {t:?}");
+    assert!(t.retried > 0, "retries were spent: {t:?}");
+    assert!(
+        t.shed > 0,
+        "best-effort traffic was refused under red: {t:?}"
+    );
+    assert!(t.evicted_bytes > 0, "eviction made room: {t:?}");
+    assert!(
+        r.fault.total_failures() > 0,
+        "injection + budget produced real exhaustion: {:?}",
+        r.fault
+    );
+    assert!(
+        r.ticks_at[PressureLevel::Red.idx()] > 0,
+        "the spike drove the node red: {:?}",
+        r.ticks_at
+    );
+    assert!(
+        r.ticks_at[PressureLevel::Green.idx()] > 0,
+        "the node recovered after the spike: {:?}",
+        r.ticks_at
+    );
+    assert!(r.slo > SimDuration::ZERO);
+    let red = r.level(PressureLevel::Red);
+    assert!(red.counters.queries > 0, "queries arrived at red");
+}
+
+#[test]
+fn scenario_decision_sequence_is_seed_deterministic_on_real_memory() {
+    // Wall-clock latencies differ run to run, but the decisions —
+    // injections, refusals, retries — must replay exactly.
+    let mut cfg = ScenarioConfig::new(
+        TraceKind::FlashCrowd,
+        ServiceKind::Redis,
+        BackendKind::RealSystem,
+        7,
+    );
+    cfg.ticks = 12;
+    cfg.queries_per_tick = 8;
+    cfg.capacity_bytes = 8 << 20;
+    let a = run_scenario(&cfg);
+    let b = run_scenario(&cfg);
+    assert_eq!(a.totals.queries, b.totals.queries);
+    assert_eq!(a.totals.shed, b.totals.shed);
+    assert_eq!(a.fault.budget_denials, b.fault.budget_denials);
+}
