@@ -140,6 +140,15 @@ pub struct BackendStats {
     pub management_busy: SimDuration,
     /// Management rounds executed (real Hermes only).
     pub manager_rounds: u64,
+    /// Bytes of backing with mappings currently constructed (real
+    /// Hermes only; zero where the backend has no mapped backing).
+    pub committed_bytes: usize,
+    /// Total reserved backing address space — the on-demand growth
+    /// ceiling (real Hermes only).
+    pub backing_reserved_bytes: usize,
+    /// Bytes returned to the kernel by `madvise(DONTNEED)` decommits,
+    /// cumulative (real Hermes only).
+    pub decommitted_bytes: u64,
 }
 
 /// A user-space allocator driven through opaque handles, in either time
@@ -385,6 +394,9 @@ impl AllocatorBackend for SimBackend {
             reserved_unused_bytes: self.alloc.reserved_unused(),
             management_busy: self.alloc.management_busy(),
             manager_rounds: 0,
+            committed_bytes: 0,
+            backing_reserved_bytes: 0,
+            decommitted_bytes: 0,
         }
     }
 

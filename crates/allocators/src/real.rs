@@ -236,6 +236,8 @@ impl AllocatorBackend for RealHermesBackend {
 
     fn stats(&self) -> BackendStats {
         let c = self.heap.counters();
+        let hs = self.heap.heap_stats();
+        let ls = self.heap.large_stats();
         BackendStats {
             alloc_count: self.allocs,
             free_count: self.frees,
@@ -245,6 +247,9 @@ impl AllocatorBackend for RealHermesBackend {
             reserved_unused_bytes: self.heap.reserved_unused_bytes(),
             management_busy: SimDuration::from_nanos(c.manager_busy_ns),
             manager_rounds: c.manager_rounds,
+            committed_bytes: hs.committed + ls.committed,
+            backing_reserved_bytes: hs.backing_reserved + ls.backing_reserved,
+            decommitted_bytes: hs.decommitted + ls.decommitted,
         }
     }
 
@@ -384,6 +389,9 @@ impl AllocatorBackend for RealSystemBackend {
             reserved_unused_bytes: 0,
             management_busy: SimDuration::ZERO,
             manager_rounds: 0,
+            committed_bytes: 0,
+            backing_reserved_bytes: 0,
+            decommitted_bytes: 0,
         }
     }
 }

@@ -25,6 +25,13 @@ fn all_backends() -> Vec<Box<dyn AllocatorBackend>> {
     out.push(Box::new(
         RealHermesBackend::with_heap_config(HermesHeapConfig::small()).expect("arena reservation"),
     ));
+    // The same contract over a *growing* mapped heap: small initial
+    // exposure, 4x address-space reservation, extended on demand by
+    // `Arena::grow` as the suite allocates.
+    out.push(Box::new(
+        RealHermesBackend::with_heap_config(HermesHeapConfig::small().with_reserve_factor(4))
+            .expect("arena reservation"),
+    ));
     out.push(Box::new(RealSystemBackend::new()));
     out
 }

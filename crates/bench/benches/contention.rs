@@ -71,6 +71,7 @@ fn run_cell(threads: usize, arenas: usize, tcache: bool) -> Cell {
             heap_capacity: 64 << 20,
             large_capacity: 64 << 20,
             arenas,
+            reserve_factor: 1,
             hermes: HermesConfig::default().with_tcache(tcache),
         })
         .expect("arena reservation"),

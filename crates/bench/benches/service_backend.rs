@@ -69,6 +69,8 @@ fn main() {
         "p99(us)",
         "p99.9(us)",
         "rsv(KB)",
+        "cmt(MB)",
+        "map(MB)",
     ]);
     for r in &rows {
         t.row_vec(vec![
@@ -78,6 +80,8 @@ fn main() {
             format!("{:.1}", r.run.p99.as_nanos() as f64 / 1e3),
             format!("{:.1}", r.run.p999.as_nanos() as f64 / 1e3),
             format!("{}", r.run.reserved_unused_bytes / 1024),
+            format!("{}", r.run.committed_bytes >> 20),
+            format!("{}", r.run.backing_reserved_bytes >> 20),
         ]);
     }
     print!("{}", t.render());
@@ -88,6 +92,21 @@ fn main() {
             .find(|r| r.service == s && r.run.backend == b)
             .map(|r| (r.run.p99.as_nanos(), r.run.reserved_unused_bytes))
     };
+    // Mapped-backing sanity: real Hermes rows report the committed
+    // gauge inside a strictly larger reservation (growth headroom).
+    for r in &rows {
+        if r.run.backend == BackendKind::RealHermes {
+            checks.check(
+                &format!("{} real: committed within reservation", r.service),
+                "0 < committed <= reserved",
+                &format!(
+                    "{} of {} B",
+                    r.run.committed_bytes, r.run.backing_reserved_bytes
+                ),
+                r.run.committed_bytes > 0 && r.run.committed_bytes <= r.run.backing_reserved_bytes,
+            );
+        }
+    }
     for service in ServiceKind::ALL {
         if let (Some((h, rsv)), Some((g, _))) = (
             find(&rows, service, BackendKind::Sim(AllocatorKind::Hermes)),
@@ -133,13 +152,16 @@ fn main() {
             series.push_str(",\n");
         }
         series.push_str(&format!(
-            "    {{\"service\": \"{}\", \"backend\": \"{}\", \"queries\": {queries}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"reserved_unused_bytes\": {}}}",
+            "    {{\"service\": \"{}\", \"backend\": \"{}\", \"queries\": {queries}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"reserved_unused_bytes\": {}, \"committed_bytes\": {}, \"backing_reserved_bytes\": {}, \"decommitted_bytes\": {}}}",
             r.service.name(),
             r.run.backend.label(),
             r.run.p50.as_nanos(),
             r.run.p99.as_nanos(),
             r.run.p999.as_nanos(),
             r.run.reserved_unused_bytes,
+            r.run.committed_bytes,
+            r.run.backing_reserved_bytes,
+            r.run.decommitted_bytes,
         ));
     }
     let json = format!("{{\n  \"record_bytes\": 1024,\n  \"series\": [\n{series}\n  ]\n}}\n");

@@ -1,0 +1,18 @@
+//! Detects whether the target supports the raw-syscall mmap platform.
+//!
+//! The workspace vendors no `libc`, so the Linux platform layer issues
+//! `mmap`/`madvise`/`munmap`/`getcpu` via inline assembly. That is only
+//! written for the two architectures we run on; everything else falls
+//! back to the portable `std::alloc` platform. The gate is a custom cfg
+//! (`hermes_mmap`) rather than `cfg(target_os = ...)` scattered through
+//! the code, so the portable path stays compiled-and-tested via
+//! `--cfg` overrides if ever needed.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(hermes_mmap)");
+    let os = std::env::var("CARGO_CFG_TARGET_OS").unwrap_or_default();
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    if os == "linux" && (arch == "x86_64" || arch == "aarch64") {
+        println!("cargo:rustc-cfg=hermes_mmap");
+    }
+}

@@ -11,6 +11,22 @@ pub const DEFAULT_MMAP_THRESHOLD: usize = 128 * 1024;
 /// multiplier similarly; more shards than cores only fragments reserve).
 pub const MAX_DEFAULT_ARENAS: usize = 8;
 
+/// Default global main-heap capacity (256 MiB), overridable with
+/// `HERMES_HEAP_MB`. With mapped arenas this is the *initially exposed*
+/// size; the reservation behind it is larger and grows on demand.
+pub const DEFAULT_HEAP_CAPACITY: usize = 256 << 20;
+
+/// Default global large-pool capacity (512 MiB), overridable with
+/// `HERMES_LARGE_MB`. Initially exposed size, as above.
+pub const DEFAULT_LARGE_CAPACITY: usize = 512 << 20;
+
+/// Bounds accepted from the `HERMES_HEAP_MB`/`HERMES_LARGE_MB` knobs, in
+/// MiB: below 8 MiB a sharded runtime cannot carve useful slices; above
+/// 1 TiB is assumed to be a typo rather than a provisioning decision.
+pub const MIN_CAPACITY_MB: usize = 8;
+/// Upper clamp for the capacity knobs, in MiB.
+pub const MAX_CAPACITY_MB: usize = 1 << 20;
+
 /// Hard cap on the arena count accepted from `HERMES_ARENAS`. Splitting a
 /// backing across more shards than this leaves each shard too small to
 /// serve a useful request mix (the global allocator additionally bounds
@@ -24,6 +40,17 @@ fn parse_arena_count(raw: &str) -> Option<usize> {
         .parse::<usize>()
         .ok()
         .map(|n| n.clamp(1, MAX_ARENAS))
+}
+
+/// Parses a capacity override in MiB (`HERMES_HEAP_MB`, `HERMES_LARGE_MB`),
+/// clamping to `MIN_CAPACITY_MB..=MAX_CAPACITY_MB` and returning bytes.
+/// `None` for unparsable input (empty string, garbage, negative, zero).
+fn parse_capacity_mb(raw: &str) -> Option<usize> {
+    raw.trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&mb| mb > 0)
+        .map(|mb| mb.clamp(MIN_CAPACITY_MB, MAX_CAPACITY_MB) << 20)
 }
 
 /// Parses an on/off switch such as `HERMES_TCACHE`. Accepts the usual
@@ -78,6 +105,54 @@ pub fn default_tcache_enabled() -> bool {
     true
 }
 
+/// Default main-heap capacity in bytes: `DEFAULT_HEAP_CAPACITY`,
+/// overridable with `HERMES_HEAP_MB` (MiB; clamped to
+/// `MIN_CAPACITY_MB..=MAX_CAPACITY_MB`, unparsable values warn once on
+/// stderr and fall back to the default).
+pub fn default_heap_capacity() -> usize {
+    static WARN: Once = Once::new();
+    if let Ok(v) = std::env::var("HERMES_HEAP_MB") {
+        match parse_capacity_mb(&v) {
+            Some(bytes) => return bytes,
+            None => warn_invalid(&WARN, "HERMES_HEAP_MB", &v, "256 MiB"),
+        }
+    }
+    DEFAULT_HEAP_CAPACITY
+}
+
+/// Default large-pool capacity in bytes: `DEFAULT_LARGE_CAPACITY`,
+/// overridable with `HERMES_LARGE_MB` (same convention as
+/// [`default_heap_capacity`]).
+pub fn default_large_capacity() -> usize {
+    static WARN: Once = Once::new();
+    if let Ok(v) = std::env::var("HERMES_LARGE_MB") {
+        match parse_capacity_mb(&v) {
+            Some(bytes) => return bytes,
+            None => warn_invalid(&WARN, "HERMES_LARGE_MB", &v, "512 MiB"),
+        }
+    }
+    DEFAULT_LARGE_CAPACITY
+}
+
+/// Default state of the transparent-huge-page hint on mapped arenas:
+/// **disabled** unless `HERMES_HUGEPAGES=1` (or `true`/`on`/`yes`).
+/// Opt-in because `MADV_HUGEPAGE` is not free everywhere: with THP
+/// `defrag=madvise` (a common host setting) first touch of a hinted
+/// range pays *synchronous* compaction — measured ~15x slower cold
+/// large allocations here — the opposite of what a latency-critical
+/// service wants. Hosts with `defrag=defer` can switch it on cheaply.
+/// Unparsable values warn once on stderr and keep the hint disabled.
+pub fn default_huge_pages() -> bool {
+    static WARN: Once = Once::new();
+    if let Ok(v) = std::env::var("HERMES_HUGEPAGES") {
+        match parse_switch(&v) {
+            Some(b) => return b,
+            None => warn_invalid(&WARN, "HERMES_HUGEPAGES", &v, "disabled"),
+        }
+    }
+    false
+}
+
 /// Tuning knobs of the Hermes mechanism.
 ///
 /// The defaults reproduce the paper's implementation choices:
@@ -128,6 +203,11 @@ pub struct HermesConfig {
     /// registered thread cache back to its shard, so reserved-unused
     /// accounting does not drift while the service idles.
     pub tcache_idle_rounds: u32,
+    /// Hint the kernel to back mapped arenas with transparent huge pages
+    /// (`madvise(HUGEPAGE)`, best-effort). Default from
+    /// `HERMES_HUGEPAGES` (off unless `=1`; see [`default_huge_pages`]
+    /// for why it is opt-in).
+    pub huge_pages: bool,
 }
 
 impl Default for HermesConfig {
@@ -148,6 +228,7 @@ impl Default for HermesConfig {
             delayed_shrink: true,
             tcache: default_tcache_enabled(),
             tcache_idle_rounds: 8,
+            huge_pages: default_huge_pages(),
         }
     }
 }
@@ -172,6 +253,13 @@ impl HermesConfig {
     /// `contention` bench sweeps.
     pub fn with_tcache(mut self, enabled: bool) -> Self {
         self.tcache = enabled;
+        self
+    }
+
+    /// Returns a copy with the transparent-huge-page hint forced on or
+    /// off (ignoring the `HERMES_HUGEPAGES` environment default).
+    pub fn with_huge_pages(mut self, enabled: bool) -> Self {
+        self.huge_pages = enabled;
         self
     }
 
@@ -257,6 +345,37 @@ mod tests {
     }
 
     #[test]
+    fn capacity_parsing_rejects_garbage_and_clamps() {
+        assert_eq!(parse_capacity_mb(""), None);
+        assert_eq!(parse_capacity_mb("   "), None);
+        assert_eq!(parse_capacity_mb("big"), None);
+        assert_eq!(parse_capacity_mb("256MB"), None);
+        assert_eq!(parse_capacity_mb("-128"), None);
+        assert_eq!(parse_capacity_mb("0"), None);
+        // Valid values parse, trim, clamp, and convert MiB to bytes.
+        assert_eq!(parse_capacity_mb("256"), Some(256 << 20));
+        assert_eq!(parse_capacity_mb(" 384 "), Some(384 << 20));
+        assert_eq!(parse_capacity_mb("1"), Some(MIN_CAPACITY_MB << 20));
+        assert_eq!(parse_capacity_mb("99999999"), Some(MAX_CAPACITY_MB << 20));
+    }
+
+    #[test]
+    fn capacity_defaults_without_env() {
+        // The suite does not set the knobs, so the defaults apply. (The
+        // env-reading paths share parse_capacity_mb/warn_invalid with the
+        // tested HERMES_ARENAS convention.)
+        if std::env::var("HERMES_HEAP_MB").is_err() {
+            assert_eq!(default_heap_capacity(), DEFAULT_HEAP_CAPACITY);
+        }
+        if std::env::var("HERMES_LARGE_MB").is_err() {
+            assert_eq!(default_large_capacity(), DEFAULT_LARGE_CAPACITY);
+        }
+        if std::env::var("HERMES_HUGEPAGES").is_err() {
+            assert!(!default_huge_pages());
+        }
+    }
+
+    #[test]
     fn invalid_override_warning_fires_once() {
         static ONCE: Once = Once::new();
         assert!(!ONCE.is_completed());
@@ -277,6 +396,8 @@ mod tests {
         assert!(!c.tcache);
         let c = HermesConfig::default().with_tcache(true);
         assert!(c.tcache);
+        let c = HermesConfig::default().with_huge_pages(false);
+        assert!(!c.huge_pages);
     }
 
     #[test]

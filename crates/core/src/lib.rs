@@ -21,6 +21,11 @@
 //! * [`daemon`] — the monitor daemon's service registry (the paper's
 //!   shared-memory PID set).
 //!
+//! Underneath [`rt`] sits [`platform`], the OS page-management seam:
+//! mmap-backed lazy reservations, real `madvise` decommit, huge-page
+//! hints and `getcpu`-based NUMA discovery on Linux, with a portable
+//! fallback elsewhere.
+//!
 //! # Examples
 //!
 //! Policy level — the Figure 6 scenario:
@@ -51,6 +56,7 @@
 
 pub mod config;
 pub mod daemon;
+pub mod platform;
 pub mod policy;
 pub mod rt;
 

@@ -1,0 +1,647 @@
+//! OS page-management platform layer.
+//!
+//! The paper's runtime owns its virtual-physical mappings: it reserves
+//! large regions up front, commits lazily on demand, and returns cold
+//! pages to the kernel from the management thread. This module is the
+//! seam between that policy code and the operating system:
+//!
+//! * [`LinuxPlatform`] (compiled when the `hermes_mmap` cfg is set by
+//!   `build.rs`, i.e. on Linux x86_64/aarch64) issues raw `mmap`,
+//!   `munmap`, `madvise`, `mbind` and `getcpu` syscalls via inline
+//!   assembly — the workspace vendors no `libc`, and the global
+//!   allocator cannot call anything that allocates.
+//! * [`PortablePlatform`] falls back to `std::alloc` reservations with
+//!   no decommit/huge-page/NUMA support, so every other target keeps
+//!   building and the knobs degrade to no-ops.
+//!
+//! All hint-style operations ([`Platform::commit`],
+//! [`Platform::decommit`], [`Platform::huge_page_hint`],
+//! [`Platform::bind_to_node`]) are best-effort: failure is reported via
+//! the return value, never panics, and callers must stay correct when a
+//! hint is refused (ISSUE 7 graceful-degradation criterion).
+
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::OnceLock;
+
+/// Small-page size assumed by the allocator (4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Transparent-huge-page size on x86_64/aarch64 Linux (2 MiB). Mapped
+/// arena reservations are aligned to this so the kernel *can* back them
+/// with huge pages when [`Platform::huge_page_hint`] succeeds.
+pub const HUGE_PAGE_SIZE: usize = 2 << 20;
+
+/// Errors from the platform layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The kernel / system allocator refused the reservation.
+    ReserveFailed,
+    /// A zero length, or a length/alignment that is not a page multiple.
+    BadRequest,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::ReserveFailed => write!(f, "platform reservation failed"),
+            PlatformError::BadRequest => {
+                write!(f, "platform request must be a positive page multiple")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Page-management primitives the runtime builds on.
+///
+/// Implementations must be stateless or internally synchronised: one
+/// `'static` instance (see [`platform()`]) is shared by every arena and
+/// by the global allocator's bootstrap, which runs before `main`.
+pub trait Platform: Send + Sync {
+    /// Small-page size in bytes.
+    fn page_size(&self) -> usize {
+        PAGE_SIZE
+    }
+
+    /// Huge-page size in bytes (alignment target for reservations).
+    fn huge_page_size(&self) -> usize {
+        HUGE_PAGE_SIZE
+    }
+
+    /// `true` when reservations are real lazy mappings: address space is
+    /// reserved without physical pages, and [`Platform::decommit`] can
+    /// return pages to the kernel.
+    fn supports_mapping(&self) -> bool;
+
+    /// Reserves `len` bytes of address space aligned to `align` bytes.
+    ///
+    /// On mapping platforms the reservation is virtual (`MAP_NORESERVE`):
+    /// physical pages materialise on first touch. `align` must be a
+    /// power-of-two multiple of the page size; `len` a positive page
+    /// multiple.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::BadRequest`] for invalid sizes,
+    /// [`PlatformError::ReserveFailed`] if the system refuses.
+    fn reserve(&self, len: usize, align: usize) -> Result<NonNull<u8>, PlatformError>;
+
+    /// Releases a reservation previously returned by [`Platform::reserve`]
+    /// with the same `len` and `align`.
+    ///
+    /// # Safety
+    ///
+    /// `base` must come from `reserve(len, align)` on this platform and
+    /// must not be used afterwards.
+    unsafe fn release(&self, base: NonNull<u8>, len: usize, align: usize);
+
+    /// Hints that `[base, base+len)` will be used soon (`MADV_WILLNEED`).
+    /// Purely advisory; commitment is guaranteed only by touching.
+    ///
+    /// # Safety
+    ///
+    /// The range must lie inside a live reservation.
+    unsafe fn commit(&self, base: NonNull<u8>, len: usize);
+
+    /// Returns the physical pages behind `[base, base+len)` to the kernel
+    /// (`MADV_DONTNEED`); the range stays reserved and reads as zeros
+    /// afterwards. Returns `false` when the platform cannot decommit (the
+    /// pages then simply stay resident).
+    ///
+    /// # Safety
+    ///
+    /// The range must lie inside a live reservation, be page aligned, and
+    /// hold no live data: on success its contents are lost.
+    unsafe fn decommit(&self, base: NonNull<u8>, len: usize) -> bool;
+
+    /// Asks the kernel to back the range with transparent huge pages
+    /// (`MADV_HUGEPAGE`). Returns `false` when refused (THP disabled,
+    /// unsupported platform) — callers proceed on small pages.
+    ///
+    /// # Safety
+    ///
+    /// The range must lie inside a live reservation.
+    unsafe fn huge_page_hint(&self, base: NonNull<u8>, len: usize) -> bool;
+
+    /// The calling thread's current `(cpu, numa_node)` via `getcpu(2)`;
+    /// `(0, 0)` when undiscoverable.
+    fn current_cpu_node(&self) -> (usize, usize);
+
+    /// Number of NUMA nodes on this host (≥ 1). Platforms without NUMA
+    /// discovery report 1, which disables node-aware placement.
+    fn numa_nodes(&self) -> usize;
+
+    /// Prefers allocating the physical pages of `[base, base+len)` from
+    /// `node` (`mbind(MPOL_PREFERRED)`). Best-effort: returns `false`
+    /// when refused, and the kernel still falls back to other nodes
+    /// under pressure even on success.
+    ///
+    /// # Safety
+    ///
+    /// The range must lie inside a live reservation.
+    unsafe fn bind_to_node(&self, base: NonNull<u8>, len: usize, node: usize) -> bool;
+}
+
+fn check_request(len: usize, align: usize) -> Result<(), PlatformError> {
+    if len == 0 || len % PAGE_SIZE != 0 || !align.is_power_of_two() || align % PAGE_SIZE != 0 {
+        return Err(PlatformError::BadRequest);
+    }
+    Ok(())
+}
+
+/// The process-wide platform instance: [`LinuxPlatform`] where the raw
+/// syscall layer exists, [`PortablePlatform`] elsewhere.
+pub fn platform() -> &'static dyn Platform {
+    #[cfg(hermes_mmap)]
+    {
+        static P: LinuxPlatform = LinuxPlatform;
+        &P
+    }
+    #[cfg(not(hermes_mmap))]
+    {
+        static P: PortablePlatform = PortablePlatform;
+        &P
+    }
+}
+
+/// Parses the kernel's node list syntax (`"0"`, `"0-3"`, `"0,2-3"`) into
+/// a node count (`max id + 1`), so shard→node assignment can stay a
+/// simple modulus. Returns `None` on anything unparseable.
+fn parse_node_list(s: &str) -> Option<usize> {
+    let mut max_id = None::<usize>;
+    for part in s.trim().split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return None;
+        }
+        let hi = match part.split_once('-') {
+            Some((lo, hi)) => {
+                lo.parse::<usize>().ok()?;
+                hi.parse::<usize>().ok()?
+            }
+            None => part.parse::<usize>().ok()?,
+        };
+        max_id = Some(max_id.map_or(hi, |m| m.max(hi)));
+    }
+    max_id.map(|m| m + 1)
+}
+
+fn discover_numa_nodes() -> usize {
+    static NODES: OnceLock<usize> = OnceLock::new();
+    *NODES.get_or_init(|| {
+        std::fs::read_to_string("/sys/devices/system/node/online")
+            .ok()
+            .and_then(|s| parse_node_list(&s))
+            .unwrap_or(1)
+            .max(1)
+    })
+}
+
+/// Linux implementation over raw syscalls (no libc).
+#[cfg(hermes_mmap)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinuxPlatform;
+
+#[cfg(hermes_mmap)]
+mod linux {
+    //! Raw syscall plumbing. Numbers and flag values are part of the
+    //! kernel ABI and stable per architecture.
+
+    #[cfg(target_arch = "x86_64")]
+    pub mod nr {
+        pub const MMAP: usize = 9;
+        pub const MUNMAP: usize = 11;
+        pub const MADVISE: usize = 28;
+        pub const MBIND: usize = 237;
+        pub const GETCPU: usize = 309;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    pub mod nr {
+        pub const MMAP: usize = 222;
+        pub const MUNMAP: usize = 215;
+        pub const MADVISE: usize = 233;
+        pub const MBIND: usize = 235;
+        pub const GETCPU: usize = 168;
+    }
+
+    pub const PROT_READ: usize = 1;
+    pub const PROT_WRITE: usize = 2;
+    pub const MAP_PRIVATE: usize = 2;
+    pub const MAP_ANONYMOUS: usize = 0x20;
+    pub const MAP_NORESERVE: usize = 0x4000;
+    pub const MADV_WILLNEED: usize = 3;
+    pub const MADV_DONTNEED: usize = 4;
+    pub const MADV_HUGEPAGE: usize = 14;
+    pub const MPOL_PREFERRED: usize = 1;
+
+    /// Six-argument syscall.
+    ///
+    /// # Safety
+    ///
+    /// The caller must uphold the invoked syscall's own contract; the
+    /// wrapper only handles register conventions.
+    #[cfg(target_arch = "x86_64")]
+    pub unsafe fn syscall6(
+        num: usize,
+        a0: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+    ) -> isize {
+        let ret: isize;
+        // SAFETY: register constraints follow the x86_64 Linux syscall
+        // ABI; rcx/r11 are clobbered by the `syscall` instruction.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") num as isize => ret,
+                in("rdi") a0,
+                in("rsi") a1,
+                in("rdx") a2,
+                in("r10") a3,
+                in("r8") a4,
+                in("r9") a5,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    /// Six-argument syscall.
+    ///
+    /// # Safety
+    ///
+    /// As the x86_64 variant.
+    #[cfg(target_arch = "aarch64")]
+    pub unsafe fn syscall6(
+        num: usize,
+        a0: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+    ) -> isize {
+        let ret: isize;
+        // SAFETY: register constraints follow the aarch64 Linux syscall
+        // ABI (`svc 0`, number in x8, args in x0..x5, result in x0).
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                in("x8") num,
+                inlateout("x0") a0 => ret,
+                in("x1") a1,
+                in("x2") a2,
+                in("x3") a3,
+                in("x4") a4,
+                in("x5") a5,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    /// `true` when a raw syscall return encodes `-errno`.
+    pub fn is_err(ret: isize) -> bool {
+        (-4095..0).contains(&ret)
+    }
+}
+
+#[cfg(hermes_mmap)]
+impl LinuxPlatform {
+    /// Anonymous private `MAP_NORESERVE` mapping of `len` bytes, or null
+    /// address on failure.
+    fn mmap(&self, len: usize) -> Option<NonNull<u8>> {
+        use linux::*;
+        // SAFETY: anonymous mapping; no pointers are passed in.
+        let ret = unsafe {
+            syscall6(
+                nr::MMAP,
+                0,
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                usize::MAX, // fd = -1
+                0,
+            )
+        };
+        if is_err(ret) {
+            return None;
+        }
+        NonNull::new(ret as *mut u8)
+    }
+
+    /// # Safety
+    ///
+    /// `[addr, addr+len)` must be an owned, mapped range.
+    unsafe fn munmap(&self, addr: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        // SAFETY: caller owns the range.
+        unsafe { linux::syscall6(linux::nr::MUNMAP, addr, len, 0, 0, 0, 0) };
+    }
+
+    /// # Safety
+    ///
+    /// The range must lie inside a live mapping owned by the caller.
+    unsafe fn madvise(&self, base: NonNull<u8>, len: usize, advice: usize) -> bool {
+        if len == 0 {
+            return true;
+        }
+        // SAFETY: caller guarantees the range is a live mapping.
+        let ret = unsafe {
+            linux::syscall6(
+                linux::nr::MADVISE,
+                base.as_ptr() as usize,
+                len,
+                advice,
+                0,
+                0,
+                0,
+            )
+        };
+        !linux::is_err(ret)
+    }
+}
+
+#[cfg(hermes_mmap)]
+impl Platform for LinuxPlatform {
+    fn supports_mapping(&self) -> bool {
+        true
+    }
+
+    fn reserve(&self, len: usize, align: usize) -> Result<NonNull<u8>, PlatformError> {
+        check_request(len, align)?;
+        if align <= PAGE_SIZE {
+            return self.mmap(len).ok_or(PlatformError::ReserveFailed);
+        }
+        // Over-map by the alignment, then trim the unaligned head and the
+        // surplus tail back to the kernel so exactly `len` stays mapped.
+        let total = len.checked_add(align).ok_or(PlatformError::BadRequest)?;
+        let raw = self.mmap(total).ok_or(PlatformError::ReserveFailed)?;
+        let addr = raw.as_ptr() as usize;
+        let aligned = addr.div_ceil(align) * align;
+        let head = aligned - addr;
+        let tail = total - head - len;
+        // SAFETY: both trims are sub-ranges of the mapping we just made.
+        unsafe {
+            self.munmap(addr, head);
+            self.munmap(aligned + len, tail);
+        }
+        // SAFETY: `aligned` is inside the (non-null) mapping.
+        Ok(unsafe { NonNull::new_unchecked(aligned as *mut u8) })
+    }
+
+    unsafe fn release(&self, base: NonNull<u8>, len: usize, _align: usize) {
+        // SAFETY: forwarded from the caller's `reserve` contract.
+        unsafe { self.munmap(base.as_ptr() as usize, len) };
+    }
+
+    unsafe fn commit(&self, base: NonNull<u8>, len: usize) {
+        // SAFETY: forwarded caller contract.
+        unsafe { self.madvise(base, len, linux::MADV_WILLNEED) };
+    }
+
+    unsafe fn decommit(&self, base: NonNull<u8>, len: usize) -> bool {
+        // SAFETY: forwarded caller contract; DONTNEED on an anonymous
+        // private mapping drops the pages and keeps the range reserved.
+        unsafe { self.madvise(base, len, linux::MADV_DONTNEED) }
+    }
+
+    unsafe fn huge_page_hint(&self, base: NonNull<u8>, len: usize) -> bool {
+        // SAFETY: forwarded caller contract.
+        unsafe { self.madvise(base, len, linux::MADV_HUGEPAGE) }
+    }
+
+    fn current_cpu_node(&self) -> (usize, usize) {
+        let mut cpu: u32 = 0;
+        let mut node: u32 = 0;
+        // SAFETY: getcpu writes two u32s through the provided pointers;
+        // the third (cache) argument is unused since Linux 2.6.24.
+        let ret = unsafe {
+            linux::syscall6(
+                linux::nr::GETCPU,
+                &mut cpu as *mut u32 as usize,
+                &mut node as *mut u32 as usize,
+                0,
+                0,
+                0,
+                0,
+            )
+        };
+        if linux::is_err(ret) {
+            (0, 0)
+        } else {
+            (cpu as usize, node as usize)
+        }
+    }
+
+    fn numa_nodes(&self) -> usize {
+        discover_numa_nodes()
+    }
+
+    unsafe fn bind_to_node(&self, base: NonNull<u8>, len: usize, node: usize) -> bool {
+        if node >= 64 || len == 0 {
+            return false;
+        }
+        let mask: u64 = 1 << node;
+        // SAFETY: the range is a live mapping (caller contract) and the
+        // nodemask pointer is valid for the duration of the call.
+        let ret = unsafe {
+            linux::syscall6(
+                linux::nr::MBIND,
+                base.as_ptr() as usize,
+                len,
+                linux::MPOL_PREFERRED,
+                &mask as *const u64 as usize,
+                64,
+                0,
+            )
+        };
+        !linux::is_err(ret)
+    }
+}
+
+/// Fallback for targets without the raw syscall layer: reservations come
+/// from `std::alloc`, every hint is a no-op, and one NUMA node is
+/// reported.
+///
+/// Not safe to use from inside a `#[global_allocator]` (it would recurse
+/// into the allocator being bootstrapped); the global facade keeps its
+/// static-BSS boot path on these targets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PortablePlatform;
+
+impl Platform for PortablePlatform {
+    fn supports_mapping(&self) -> bool {
+        false
+    }
+
+    fn reserve(&self, len: usize, align: usize) -> Result<NonNull<u8>, PlatformError> {
+        check_request(len, align)?;
+        let layout = std::alloc::Layout::from_size_align(len, align)
+            .map_err(|_| PlatformError::BadRequest)?;
+        // SAFETY: layout has non-zero size and valid alignment.
+        let ptr = unsafe { std::alloc::alloc(layout) };
+        NonNull::new(ptr).ok_or(PlatformError::ReserveFailed)
+    }
+
+    unsafe fn release(&self, base: NonNull<u8>, len: usize, align: usize) {
+        let layout = std::alloc::Layout::from_size_align(len, align).expect("release layout");
+        // SAFETY: pointer and layout are the ones used by `reserve`.
+        unsafe { std::alloc::dealloc(base.as_ptr(), layout) };
+    }
+
+    unsafe fn commit(&self, _base: NonNull<u8>, _len: usize) {}
+
+    unsafe fn decommit(&self, _base: NonNull<u8>, _len: usize) -> bool {
+        false
+    }
+
+    unsafe fn huge_page_hint(&self, _base: NonNull<u8>, _len: usize) -> bool {
+        false
+    }
+
+    fn current_cpu_node(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
+    fn numa_nodes(&self) -> usize {
+        1
+    }
+
+    unsafe fn bind_to_node(&self, _base: NonNull<u8>, _len: usize, _node: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_requests() {
+        let p = platform();
+        assert_eq!(p.reserve(0, PAGE_SIZE), Err(PlatformError::BadRequest));
+        assert_eq!(
+            p.reserve(PAGE_SIZE + 1, PAGE_SIZE),
+            Err(PlatformError::BadRequest)
+        );
+        assert_eq!(p.reserve(PAGE_SIZE, 3), Err(PlatformError::BadRequest));
+        assert_eq!(
+            p.reserve(PAGE_SIZE, PAGE_SIZE / 2),
+            Err(PlatformError::BadRequest)
+        );
+    }
+
+    #[test]
+    fn reserve_honours_huge_page_alignment() {
+        let p = platform();
+        let len = 4 * HUGE_PAGE_SIZE;
+        let base = p.reserve(len, HUGE_PAGE_SIZE).expect("reserve");
+        assert_eq!(base.as_ptr() as usize % HUGE_PAGE_SIZE, 0);
+        // The whole range must be usable.
+        unsafe {
+            std::ptr::write_volatile(base.as_ptr(), 1);
+            std::ptr::write_volatile(base.as_ptr().add(len - 1), 2);
+            assert_eq!(std::ptr::read_volatile(base.as_ptr()), 1);
+            p.release(base, len, HUGE_PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn decommit_zeroes_resident_pages() {
+        let p = platform();
+        let len = 8 * PAGE_SIZE;
+        let base = p.reserve(len, PAGE_SIZE).expect("reserve");
+        unsafe {
+            std::ptr::write_volatile(base.as_ptr().add(PAGE_SIZE), 0xAB);
+            let dropped = p.decommit(base, len);
+            if p.supports_mapping() {
+                // Real decommit: the page came back zero-filled.
+                assert!(dropped, "mapping platform must decommit");
+                assert_eq!(std::ptr::read_volatile(base.as_ptr().add(PAGE_SIZE)), 0);
+                // The range stays reserved and writable after decommit.
+                std::ptr::write_volatile(base.as_ptr().add(PAGE_SIZE), 0xCD);
+                assert_eq!(std::ptr::read_volatile(base.as_ptr().add(PAGE_SIZE)), 0xCD);
+            } else {
+                assert!(!dropped, "portable platform cannot decommit");
+            }
+            p.release(base, len, PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn huge_page_probe_degrades_gracefully() {
+        // The hint may be accepted or refused depending on the host's THP
+        // configuration; both outcomes are valid. This asserts only that
+        // probing never faults or corrupts the mapping.
+        let p = platform();
+        let len = 2 * HUGE_PAGE_SIZE;
+        let base = p.reserve(len, HUGE_PAGE_SIZE).expect("reserve");
+        unsafe {
+            let hinted = p.huge_page_hint(base, len);
+            if !p.supports_mapping() {
+                assert!(!hinted);
+            }
+            std::ptr::write_volatile(base.as_ptr(), 0x11);
+            assert_eq!(std::ptr::read_volatile(base.as_ptr()), 0x11);
+            p.release(base, len, HUGE_PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn numa_discovery_is_consistent() {
+        let p = platform();
+        let nodes = p.numa_nodes();
+        assert!(nodes >= 1);
+        let (_cpu, node) = p.current_cpu_node();
+        assert!(node < nodes, "current node {node} outside {nodes} nodes");
+    }
+
+    #[test]
+    fn bind_to_node_is_best_effort() {
+        let p = platform();
+        let len = 4 * PAGE_SIZE;
+        let base = p.reserve(len, PAGE_SIZE).expect("reserve");
+        unsafe {
+            // Node 0 always exists; the call may still be refused (e.g.
+            // kernels without CONFIG_NUMA) and that must be survivable.
+            let _ = p.bind_to_node(base, len, 0);
+            // An absurd node id must be refused, not crash.
+            assert!(!p.bind_to_node(base, len, 64));
+            std::ptr::write_volatile(base.as_ptr(), 9);
+            p.release(base, len, PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn commit_hint_is_harmless() {
+        let p = platform();
+        let len = 2 * PAGE_SIZE;
+        let base = p.reserve(len, PAGE_SIZE).expect("reserve");
+        unsafe {
+            p.commit(base, len);
+            std::ptr::write_volatile(base.as_ptr().add(len - 1), 3);
+            p.release(base, len, PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn node_list_parsing() {
+        assert_eq!(parse_node_list("0\n"), Some(1));
+        assert_eq!(parse_node_list("0-3"), Some(4));
+        assert_eq!(parse_node_list("0,2-3"), Some(4));
+        assert_eq!(parse_node_list("1"), Some(2));
+        assert_eq!(parse_node_list(""), None);
+        assert_eq!(parse_node_list("x-y"), None);
+    }
+}

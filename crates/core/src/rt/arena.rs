@@ -4,18 +4,25 @@
 //! pages materialise on first touch — exactly the on-demand mapping
 //! behaviour the paper analyses. Two backings are supported:
 //!
-//! * dynamic (`Arena::reserve`) — obtained from the system allocator; used
-//!   by standalone [`crate::rt::HermesHeap`] instances;
-//! * static (`Arena::from_static`) — a BSS region handed in by the
-//!   embedder; used by the global allocator, whose bootstrap must not
-//!   allocate.
+//! * mapped (`Arena::map` / `Arena::reserve`) — obtained from the
+//!   [`crate::platform`] layer. On Linux this is a raw `MAP_NORESERVE`
+//!   mmap: the arena reserves a large address range up front and exposes
+//!   only a prefix as `capacity`, which [`Arena::grow`] extends on demand
+//!   without moving the base. Cold ranges can be returned to the kernel
+//!   with [`Arena::decommit`] (`MADV_DONTNEED`), and the whole region can
+//!   be pinned to a NUMA node. The platform layer never calls back into
+//!   the Rust allocator, so this path is safe under
+//!   `#[global_allocator]`.
+//! * static (`Arena::from_static`) — a pre-existing region handed in by
+//!   the embedder; used by the global allocator's portable fallback,
+//!   whose bootstrap must not allocate.
 //!
 //! "Constructing the virtual-physical mapping" is [`Arena::touch`]: one
 //! volatile write per page. The paper delegates this to the kernel via
 //! `mlock(2)`, which it measures as ≥40 % faster; portable Rust without
 //! libc uses the write loop (the substitution is recorded in DESIGN.md).
 
-use std::alloc::{alloc, dealloc, Layout};
+use crate::platform::{platform, HUGE_PAGE_SIZE};
 use std::fmt;
 use std::ptr::NonNull;
 
@@ -25,10 +32,12 @@ pub const PAGE: usize = 4096;
 /// Errors from arena management.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArenaError {
-    /// The backing reservation failed (system allocator returned null).
+    /// The backing reservation failed (platform refused the mapping).
     ReserveFailed,
     /// A zero or non-page-multiple capacity was requested.
     BadCapacity,
+    /// A grow request would exceed the reserved address range.
+    ReservationExhausted,
 }
 
 impl fmt::Display for ArenaError {
@@ -36,6 +45,9 @@ impl fmt::Display for ArenaError {
         match self {
             ArenaError::ReserveFailed => write!(f, "arena reservation failed"),
             ArenaError::BadCapacity => write!(f, "arena capacity must be a positive page multiple"),
+            ArenaError::ReservationExhausted => {
+                write!(f, "arena grow would exceed its reserved address range")
+            }
         }
     }
 }
@@ -43,7 +55,12 @@ impl fmt::Display for ArenaError {
 impl std::error::Error for ArenaError {}
 
 enum Backing {
-    Owned(Layout),
+    /// Platform reservation of `reserved` bytes at alignment `align`;
+    /// `capacity` exposes a growable prefix of it.
+    Mapped {
+        reserved: usize,
+        align: usize,
+    },
     Static,
 }
 
@@ -62,28 +79,55 @@ unsafe impl Send for Arena {}
 unsafe impl Sync for Arena {}
 
 impl Arena {
-    /// Reserves a dynamic arena of `capacity` bytes (page multiple).
+    /// Reserves a fixed-size arena of `capacity` bytes (page multiple).
     ///
-    /// The region is *virtual*: with an overcommitting kernel no physical
-    /// pages are consumed until touched.
+    /// Equivalent to [`Arena::map`] with `reserved == capacity` and no
+    /// huge-page hint: the region is *virtual* (no physical pages until
+    /// touched on an overcommitting kernel) but cannot grow.
     ///
     /// # Errors
     ///
     /// [`ArenaError::BadCapacity`] for a zero or unaligned capacity,
-    /// [`ArenaError::ReserveFailed`] if the system refuses the reservation.
+    /// [`ArenaError::ReserveFailed`] if the platform refuses.
     pub fn reserve(capacity: usize) -> Result<Arena, ArenaError> {
-        if capacity == 0 || capacity % PAGE != 0 {
+        Arena::map(capacity, capacity, false)
+    }
+
+    /// Maps an arena that exposes `capacity` bytes out of a `reserved`
+    /// byte address-range reservation (both page multiples,
+    /// `capacity <= reserved`). [`Arena::grow`] extends the exposed
+    /// prefix up to `reserved` without moving the base.
+    ///
+    /// Reservations of at least one huge page are aligned to 2 MiB; when
+    /// `huge` is set the kernel is additionally hinted (best-effort) to
+    /// back the range with transparent huge pages.
+    ///
+    /// # Errors
+    ///
+    /// [`ArenaError::BadCapacity`] for zero/unaligned sizes or
+    /// `capacity > reserved`, [`ArenaError::ReserveFailed`] if the
+    /// platform refuses the reservation.
+    pub fn map(capacity: usize, reserved: usize, huge: bool) -> Result<Arena, ArenaError> {
+        if capacity == 0 || capacity % PAGE != 0 || reserved % PAGE != 0 || capacity > reserved {
             return Err(ArenaError::BadCapacity);
         }
-        let layout =
-            Layout::from_size_align(capacity, PAGE).map_err(|_| ArenaError::BadCapacity)?;
-        // SAFETY: layout has non-zero size and valid alignment.
-        let ptr = unsafe { alloc(layout) };
-        let base = NonNull::new(ptr).ok_or(ArenaError::ReserveFailed)?;
+        let p = platform();
+        let align = if reserved >= HUGE_PAGE_SIZE {
+            HUGE_PAGE_SIZE
+        } else {
+            PAGE
+        };
+        let base = p
+            .reserve(reserved, align)
+            .map_err(|_| ArenaError::ReserveFailed)?;
+        if huge {
+            // SAFETY: the freshly reserved range is live and unaliased.
+            unsafe { p.huge_page_hint(base, reserved) };
+        }
         Ok(Arena {
             base,
             capacity,
-            backing: Backing::Owned(layout),
+            backing: Backing::Mapped { reserved, align },
         })
     }
 
@@ -121,16 +165,112 @@ impl Arena {
         self.base
     }
 
-    /// Capacity in bytes (page multiple).
+    /// Usable capacity in bytes (page multiple). For mapped arenas this
+    /// is the currently exposed prefix of [`Arena::reserved`].
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// `true` if `ptr` lies inside the region.
+    /// Total reserved address range in bytes — the ceiling [`Arena::grow`]
+    /// can extend [`Arena::capacity`] to. Equals `capacity` for static
+    /// and fixed reservations.
+    pub fn reserved(&self) -> usize {
+        match self.backing {
+            Backing::Mapped { reserved, .. } => reserved,
+            Backing::Static => self.capacity,
+        }
+    }
+
+    /// Extends the usable capacity by `extra` bytes (positive page
+    /// multiple) within the existing reservation. The base pointer and
+    /// all previously handed-out offsets remain valid; new pages remain
+    /// virtual until touched. Returns the new capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`ArenaError::BadCapacity`] for a zero or unaligned `extra`,
+    /// [`ArenaError::ReservationExhausted`] when the reservation cannot
+    /// accommodate the growth (static arenas never grow).
+    pub fn grow(&mut self, extra: usize) -> Result<usize, ArenaError> {
+        if extra == 0 || extra % PAGE != 0 {
+            return Err(ArenaError::BadCapacity);
+        }
+        let new_cap = self
+            .capacity
+            .checked_add(extra)
+            .ok_or(ArenaError::ReservationExhausted)?;
+        if new_cap > self.reserved() {
+            return Err(ArenaError::ReservationExhausted);
+        }
+        // SAFETY: the grown range lies inside the live reservation.
+        unsafe {
+            platform().commit(
+                NonNull::new_unchecked(self.base.as_ptr().add(self.capacity)),
+                extra,
+            )
+        };
+        self.capacity = new_cap;
+        Ok(new_cap)
+    }
+
+    /// Returns the physical pages of `[offset, offset+len)` to the kernel
+    /// where the platform supports it. The inner page-aligned sub-range
+    /// is decommitted; reads from it yield zeros afterwards and the
+    /// address range stays usable. Returns the number of bytes actually
+    /// decommitted (0 on static arenas, portable platforms, or ranges
+    /// smaller than a page).
+    ///
+    /// # Safety
+    ///
+    /// The range must hold no live allocator data: on success its
+    /// contents are lost (zero-filled on next touch).
+    pub unsafe fn decommit(&self, offset: usize, len: usize) -> usize {
+        let Backing::Mapped { .. } = self.backing else {
+            return 0;
+        };
+        let Some(end) = offset.checked_add(len) else {
+            return 0;
+        };
+        if end > self.capacity {
+            return 0;
+        }
+        // Shrink to the page-aligned interior so partial boundary pages
+        // (which may hold live neighbours) are never dropped.
+        let start = offset.div_ceil(PAGE) * PAGE;
+        let stop = end / PAGE * PAGE;
+        if stop <= start {
+            return 0;
+        }
+        // SAFETY: the interior range is inside the live mapping; the
+        // caller guarantees it holds no live data.
+        let ok = unsafe {
+            platform().decommit(
+                NonNull::new_unchecked(self.base.as_ptr().add(start)),
+                stop - start,
+            )
+        };
+        if ok {
+            stop - start
+        } else {
+            0
+        }
+    }
+
+    /// Prefers allocating this arena's physical pages from the given NUMA
+    /// node (best-effort; `false` when the platform refuses).
+    pub fn bind_to_node(&self, node: usize) -> bool {
+        let Backing::Mapped { reserved, .. } = self.backing else {
+            return false;
+        };
+        // SAFETY: the whole reservation is a live mapping we own.
+        unsafe { platform().bind_to_node(self.base, reserved, node) }
+    }
+
+    /// `true` if `ptr` lies inside the region's reserved range.
     pub fn contains(&self, ptr: *const u8) -> bool {
         let a = self.base.as_ptr() as usize;
         let p = ptr as usize;
-        p >= a && p < a + self.capacity
+        p >= a && p < a + self.reserved()
     }
 
     /// Pointer at byte `offset`.
@@ -179,10 +319,11 @@ impl fmt::Debug for Arena {
         f.debug_struct("Arena")
             .field("base", &self.base.as_ptr())
             .field("capacity", &self.capacity)
+            .field("reserved", &self.reserved())
             .field(
                 "backing",
                 &match self.backing {
-                    Backing::Owned(_) => "owned",
+                    Backing::Mapped { .. } => "mapped",
                     Backing::Static => "static",
                 },
             )
@@ -192,9 +333,11 @@ impl fmt::Debug for Arena {
 
 impl Drop for Arena {
     fn drop(&mut self) {
-        if let Backing::Owned(layout) = self.backing {
-            // SAFETY: pointer and layout are the ones returned by `alloc`.
-            unsafe { dealloc(self.base.as_ptr(), layout) }
+        if let Backing::Mapped { reserved, align } = self.backing {
+            // SAFETY: base/reserved/align are the platform reservation's
+            // own parameters; the arena is being destroyed so nothing
+            // aliases the range.
+            unsafe { platform().release(self.base, reserved, align) }
         }
     }
 }
@@ -217,6 +360,7 @@ mod tests {
         assert!(a.contains(a.at(PAGE * 4 - 1)));
         assert!(!a.contains(a.at(PAGE * 4)));
         assert_eq!(a.capacity(), PAGE * 4);
+        assert_eq!(a.reserved(), PAGE * 4);
     }
 
     #[test]
@@ -254,5 +398,96 @@ mod tests {
         static mut SMALL: [u8; 64] = [0; 64];
         let r = unsafe { Arena::from_static(std::ptr::addr_of_mut!(SMALL) as *mut u8, 64) };
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn map_validates_sizes() {
+        assert!(matches!(
+            Arena::map(PAGE * 8, PAGE * 4, false),
+            Err(ArenaError::BadCapacity)
+        ));
+        assert!(matches!(
+            Arena::map(0, PAGE * 4, false),
+            Err(ArenaError::BadCapacity)
+        ));
+        assert!(Arena::map(PAGE * 4, PAGE * 8, false).is_ok());
+    }
+
+    #[test]
+    fn grow_extends_capacity_up_to_reservation() {
+        let mut a = Arena::map(PAGE * 2, PAGE * 8, false).unwrap();
+        assert_eq!(a.capacity(), PAGE * 2);
+        assert_eq!(a.reserved(), PAGE * 8);
+        let base_before = a.base().as_ptr();
+
+        assert_eq!(a.grow(PAGE * 4), Ok(PAGE * 6));
+        assert_eq!(a.capacity(), PAGE * 6);
+        assert_eq!(
+            a.base().as_ptr(),
+            base_before,
+            "grow must not move the base"
+        );
+        // The grown range is usable on-demand memory.
+        a.touch(PAGE * 2, PAGE * 4);
+        unsafe {
+            *a.at(PAGE * 6 - 1) = 5;
+            assert_eq!(*a.at(PAGE * 6 - 1), 5);
+        }
+
+        assert_eq!(a.grow(PAGE * 3), Err(ArenaError::ReservationExhausted));
+        assert_eq!(a.grow(0), Err(ArenaError::BadCapacity));
+        assert_eq!(a.grow(PAGE * 2), Ok(PAGE * 8));
+        assert_eq!(a.grow(PAGE), Err(ArenaError::ReservationExhausted));
+    }
+
+    #[test]
+    fn huge_reservations_are_huge_page_aligned() {
+        use crate::platform::HUGE_PAGE_SIZE;
+        let a = Arena::map(PAGE * 16, HUGE_PAGE_SIZE * 2, true).unwrap();
+        assert_eq!(a.base().as_ptr() as usize % HUGE_PAGE_SIZE, 0);
+        a.touch(0, PAGE * 16);
+    }
+
+    #[test]
+    fn decommit_then_reuse_round_trip() {
+        let a = Arena::map(PAGE * 8, PAGE * 8, false).unwrap();
+        a.touch(0, PAGE * 8);
+        unsafe {
+            *a.at(PAGE * 2) = 0x5A;
+            *a.at(PAGE * 3 - 1) = 0x5B;
+            // Unaligned request: only the interior pages may be dropped.
+            let freed = a.decommit(PAGE * 2 + 1, PAGE * 4 - 2);
+            if crate::platform::platform().supports_mapping() {
+                assert_eq!(freed, PAGE * 2, "interior pages decommitted");
+                // Boundary pages keep their data; interior reads as zero.
+                assert_eq!(*a.at(PAGE * 2), 0x5A);
+                assert_eq!(*a.at(PAGE * 3 - 1), 0x5B);
+                assert_eq!(*a.at(PAGE * 3), 0);
+                assert_eq!(*a.at(PAGE * 4), 0);
+            } else {
+                assert_eq!(freed, 0);
+            }
+            // Reuse after decommit: touch and write again.
+            a.touch(PAGE * 3, PAGE * 2);
+            *a.at(PAGE * 3) = 0x77;
+            assert_eq!(*a.at(PAGE * 3), 0x77);
+        }
+    }
+
+    #[test]
+    fn decommit_out_of_range_is_refused() {
+        let a = Arena::map(PAGE * 2, PAGE * 4, false).unwrap();
+        // Beyond current capacity (even though inside the reservation).
+        unsafe {
+            assert_eq!(a.decommit(PAGE * 2, PAGE), 0);
+            assert_eq!(a.decommit(0, usize::MAX), 0);
+        }
+    }
+
+    #[test]
+    fn bind_to_node_never_panics() {
+        let a = Arena::map(PAGE * 4, PAGE * 4, false).unwrap();
+        let _ = a.bind_to_node(0);
+        a.touch(0, PAGE * 4);
     }
 }

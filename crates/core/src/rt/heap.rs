@@ -54,11 +54,17 @@ pub struct HeapStats {
     pub brk: usize,
     /// Touched (mapping-constructed) bytes.
     pub committed: usize,
+    /// Total reserved address range of the backing arena — the ceiling
+    /// on-demand growth can extend the heap segment to.
+    pub backing_reserved: usize,
     /// Live allocation count.
     pub live: usize,
     /// Pages touched by foreground allocations (the slow path Hermes
     /// eliminates).
     pub demand_touched_pages: u64,
+    /// Bytes returned to the kernel (`madvise(DONTNEED)`) by trim
+    /// decommits, cumulative.
+    pub decommitted: u64,
 }
 
 impl HeapStats {
@@ -69,8 +75,10 @@ impl HeapStats {
         self.binned += other.binned;
         self.brk += other.brk;
         self.committed += other.committed;
+        self.backing_reserved += other.backing_reserved;
         self.live += other.live;
         self.demand_touched_pages += other.demand_touched_pages;
+        self.decommitted += other.decommitted;
     }
 }
 
@@ -162,6 +170,7 @@ impl RawHeap {
         HeapStats {
             brk: self.brk_off,
             committed: self.committed_off,
+            backing_reserved: self.arena.reserved(),
             ..self.stats
         }
     }
@@ -313,9 +322,31 @@ impl RawHeap {
         self.committed_off = target;
     }
 
+    /// Ensures the arena can hold a break at `new_brk` (plus the tail
+    /// page reserved for the top-position prev_size stamp), growing a
+    /// mapped arena's exposed capacity on demand. Returns `false` when
+    /// even the full reservation cannot accommodate it.
+    fn ensure_capacity(&mut self, new_brk: usize) -> bool {
+        let limit = self.arena.capacity().saturating_sub(PAGE);
+        if new_brk <= limit {
+            return true;
+        }
+        let needed = (new_brk + PAGE).saturating_sub(self.arena.capacity());
+        let avail = self.arena.reserved() - self.arena.capacity();
+        if needed > avail {
+            return false;
+        }
+        // Grow in multi-megabyte steps so a tight allocation loop does
+        // not take the grow path once per page.
+        const GROW_CHUNK: usize = 4 << 20;
+        let extra = round_up(needed, PAGE).max(GROW_CHUNK).min(avail);
+        self.arena.grow(extra).is_ok()
+    }
+
     /// Extends the program break by `bytes` **and** constructs the
     /// mappings (the management thread's reservation step; Algorithm 1
-    /// lines 11–15 run this under the heap lock).
+    /// lines 11–15 run this under the heap lock). Mapped arenas grow
+    /// their exposed capacity on demand, up to the reservation.
     ///
     /// # Errors
     ///
@@ -323,12 +354,36 @@ impl RawHeap {
     pub fn sbrk_commit(&mut self, bytes: usize) -> Result<(), HeapError> {
         let new_brk = round_up(self.brk_off + bytes, PAGE);
         // One tail page stays in reserve for the top-position prev_size stamp.
-        if new_brk > self.arena.capacity() - PAGE {
+        if !self.ensure_capacity(new_brk) {
             return Err(HeapError::OutOfSpace);
         }
         self.brk_off = new_brk;
         self.commit_to(new_brk);
         Ok(())
+    }
+
+    /// Returns the committed pages above the (already trimmed) program
+    /// break to the kernel, where the platform supports decommit. The
+    /// page holding the top-position prev_size stamp is kept. Returns the
+    /// bytes decommitted; the manager calls this after [`RawHeap::trim`]
+    /// so the paper's `sbrk(-extra)` release becomes a real
+    /// `madvise(DONTNEED)` instead of an accounting fiction.
+    pub fn decommit_tail(&mut self) -> usize {
+        // `+ HDR` keeps the 8-byte stamp at the top position (top_off <=
+        // brk_off) out of the dropped range even when the break is
+        // page-aligned.
+        let start = round_up(self.brk_off + HDR, PAGE);
+        if start >= self.committed_off {
+            return 0;
+        }
+        // SAFETY: everything at or above the break is top-chunk tail; no
+        // live chunk or stamp lies in [start, committed_off).
+        let freed = unsafe { self.arena.decommit(start, self.committed_off - start) };
+        if freed > 0 {
+            self.committed_off = start;
+            self.stats.decommitted += freed as u64;
+        }
+        freed
     }
 
     /// Shrinks the top chunk so at most `keep` bytes remain
@@ -522,7 +577,7 @@ impl RawHeap {
             // Glibc expands by exactly the shortfall (paper §2.1).
             let grow = need - self.top_free();
             let new_brk = round_up(self.brk_off + grow, PAGE);
-            if new_brk > self.arena.capacity() - PAGE {
+            if !self.ensure_capacity(new_brk) {
                 return None;
             }
             self.brk_off = new_brk;
@@ -993,6 +1048,49 @@ mod tests {
         unsafe { h.free_batch(&out[..n]) };
         assert_eq!(h.stats().live, 0);
         h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn break_grows_into_mapped_reservation() {
+        let mut h = RawHeap::new(Arena::map(PAGE * 8, PAGE * 2048, false).unwrap());
+        // Demand far beyond the initial 8-page capacity is served by
+        // on-demand Arena::grow instead of OutOfSpace.
+        let p = h.malloc(PAGE * 64).unwrap();
+        // SAFETY: fresh allocation of 64 pages.
+        unsafe { std::ptr::write_bytes(p.as_ptr(), 0x3C, PAGE * 64) };
+        assert!(h.stats().brk > PAGE * 8);
+        assert_eq!(h.stats().backing_reserved, PAGE * 2048);
+        // Exhaustion still reports once the reservation itself is spent.
+        assert!(h.malloc(PAGE * 4096).is_none());
+        // SAFETY: p live.
+        unsafe { h.free(p) };
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn decommit_tail_returns_trimmed_pages() {
+        let mut h = heap(64);
+        h.sbrk_commit(PAGE * 32).unwrap();
+        h.trim(0);
+        let freed = h.decommit_tail();
+        let s = h.stats();
+        if crate::platform::platform().supports_mapping() {
+            assert!(freed > 0, "trimmed tail pages decommit on mmap hosts");
+            assert!(s.committed < s.backing_reserved);
+            assert_eq!(s.decommitted, freed as u64);
+        } else {
+            assert_eq!(freed, 0);
+        }
+        // Decommit-then-reuse: the dropped range is re-committed on the
+        // next carve and fully usable.
+        let p = h.malloc(PAGE * 8).unwrap();
+        // SAFETY: fresh allocation of 8 pages.
+        unsafe {
+            std::ptr::write_bytes(p.as_ptr(), 0x7E, PAGE * 8);
+            h.free(p);
+        }
+        h.check_integrity().unwrap();
+        assert!(h.decommit_tail() == 0 || h.stats().decommitted > freed as u64);
     }
 
     #[test]

@@ -7,11 +7,14 @@
 //! hand-outs are registered in the [`DelayedShrinkSet`] and trimmed back on
 //! the next management round, so the requester never waits for the shrink.
 //!
-//! Divergence from the paper (recorded in DESIGN.md): real `mremap`-style
-//! in-place expansion and `munmap`-decommit are not portably available
-//! without libc, so "expand the largest chunk" falls back to carving a
-//! fresh chunk, and trimmed memory is recycled through an extent list
-//! instead of being returned to the kernel.
+//! Divergence from the paper (recorded in DESIGN.md): `mremap`-style
+//! in-place expansion is not portably available without libc, so "expand
+//! the largest chunk" falls back to carving a fresh chunk. Trimmed and
+//! delayed-shrunk memory is recycled through an extent list; on mapping
+//! platforms each extent's pages are really returned to the kernel via
+//! [`Arena::decommit`] (`madvise(DONTNEED)`) as it is trimmed, and the
+//! extent is marked cold so reuse honestly pays (and counts) the
+//! mapping-construction faults again.
 
 use super::arena::{Arena, PAGE};
 use crate::policy::{DelayedShrinkSet, MmapChunk, PoolHit, SegregatedFreeList};
@@ -45,6 +48,14 @@ pub struct LargeStats {
     pub demand_touched_pages: u64,
     /// Bytes recycled through the extent list.
     pub extent_bytes: usize,
+    /// Total reserved address range of the backing arena.
+    pub backing_reserved: usize,
+    /// Bytes currently committed (touched and not decommitted) by this
+    /// pool — the physical footprint the large path holds.
+    pub committed: usize,
+    /// Bytes returned to the kernel (`madvise(DONTNEED)`) by trim and
+    /// delayed shrink, cumulative.
+    pub decommitted: u64,
 }
 
 impl LargeStats {
@@ -58,7 +69,20 @@ impl LargeStats {
         self.cold_allocs += other.cold_allocs;
         self.demand_touched_pages += other.demand_touched_pages;
         self.extent_bytes += other.extent_bytes;
+        self.backing_reserved += other.backing_reserved;
+        self.committed += other.committed;
+        self.decommitted += other.decommitted;
     }
+}
+
+/// A recyclable page-granular extent. `warm` records whether its pages
+/// are still resident: decommitted extents hand out cold memory, so
+/// reuse must re-touch and account the faults.
+#[derive(Debug, Clone, Copy)]
+struct Extent {
+    off: usize,
+    size: usize,
+    warm: bool,
 }
 
 /// The large-chunk allocator.
@@ -67,8 +91,10 @@ pub struct LargePool {
     bump_off: usize,
     pool: SegregatedFreeList,
     shrink: DelayedShrinkSet,
-    /// Recyclable extents (offset, size), page-granular.
-    extents: Vec<(usize, usize)>,
+    /// Recyclable extents, page-granular.
+    extents: Vec<Extent>,
+    /// Committed-bytes gauge: touched minus decommitted.
+    committed: usize,
     stats: LargeStats,
     min_mmap: usize,
 }
@@ -103,6 +129,7 @@ impl LargePool {
             // Capacity is pre-reserved so pushes do not re-enter the
             // global allocator with a large request (see module docs).
             extents: Vec::with_capacity(4096),
+            committed: 0,
             stats: LargeStats::default(),
             min_mmap,
         }
@@ -112,7 +139,9 @@ impl LargePool {
     pub fn stats(&self) -> LargeStats {
         LargeStats {
             pool_bytes: self.pool.total_size(),
-            extent_bytes: self.extents.iter().map(|&(_, s)| s).sum(),
+            extent_bytes: self.extents.iter().map(|e| e.size).sum(),
+            backing_reserved: self.arena.reserved(),
+            committed: self.committed,
             ..self.stats
         }
     }
@@ -128,27 +157,60 @@ impl LargePool {
     }
 
     fn carve(&mut self, need: usize) -> Option<(usize, bool)> {
-        // Best-fit from recycled extents first (already-touched pages).
+        // Best-fit from recycled extents first; a decommitted extent is
+        // reusable address space but cold memory, so its `warm` flag
+        // decides whether the caller must (re-)touch.
         let mut best: Option<(usize, usize)> = None; // (index, size)
-        for (i, &(_, sz)) in self.extents.iter().enumerate() {
-            if sz >= need && best.map_or(true, |(_, bs)| sz < bs) {
-                best = Some((i, sz));
+        for (i, e) in self.extents.iter().enumerate() {
+            if e.size >= need && best.map_or(true, |(_, bs)| e.size < bs) {
+                best = Some((i, e.size));
             }
         }
         if let Some((i, sz)) = best {
-            let (off, _) = self.extents.swap_remove(i);
+            let e = self.extents.swap_remove(i);
             if sz > need {
-                self.extents.push((off + need, sz - need));
+                self.extents.push(Extent {
+                    off: e.off + need,
+                    size: sz - need,
+                    warm: e.warm,
+                });
             }
-            return Some((off, true));
+            return Some((e.off, e.warm));
         }
-        // Cold path: bump-allocate fresh, untouched pages.
+        // Cold path: bump-allocate fresh, untouched pages, growing a
+        // mapped arena's exposed capacity on demand.
         if self.bump_off + need > self.arena.capacity() {
-            return None;
+            let shortfall = self.bump_off + need - self.arena.capacity();
+            let avail = self.arena.reserved() - self.arena.capacity();
+            if shortfall > avail {
+                return None;
+            }
+            // Multi-megabyte grow steps amortise the platform calls.
+            const GROW_CHUNK: usize = 16 << 20;
+            let extra = round_up(shortfall, PAGE).max(GROW_CHUNK).min(avail);
+            self.arena.grow(extra).ok()?;
         }
         let off = self.bump_off;
         self.bump_off += need;
         Some((off, false))
+    }
+
+    /// Recycles `[off, off+size)` into the extent list, returning its
+    /// pages to the kernel where the platform supports decommit. On
+    /// refusal (portable platform) the extent simply stays warm.
+    fn push_extent(&mut self, off: usize, size: usize) {
+        // SAFETY: the range comes from a trimmed pool chunk or a
+        // delayed-shrink tail — no live payload or header remains in it.
+        let freed = unsafe { self.arena.decommit(off, size) };
+        if freed > 0 {
+            self.committed = self.committed.saturating_sub(freed);
+            self.stats.decommitted += freed as u64;
+        }
+        self.extents.push(Extent {
+            off,
+            size,
+            warm: freed == 0,
+        });
     }
 
     fn write_header(&mut self, payload_off: usize, chunk_off: usize, chunk_size: usize) {
@@ -200,6 +262,7 @@ impl LargePool {
             self.stats.cold_allocs += 1;
             self.stats.demand_touched_pages += (chunk_size / PAGE) as u64;
             self.arena.touch(chunk_off, chunk_size);
+            self.committed += chunk_size;
         }
         let base = self.arena.base().as_ptr() as usize;
         let payload_off = if pad == 0 {
@@ -265,7 +328,7 @@ impl LargePool {
         }
         while self.pool.total_size() > trim_thr {
             match self.pool.take_smallest() {
-                Some(c) => self.extents.push((c.id as usize, c.size)),
+                Some(c) => self.push_extent(c.id as usize, c.size),
                 None => break,
             }
         }
@@ -280,6 +343,7 @@ impl LargePool {
             Some((off, warm)) => {
                 if !warm {
                     self.arena.touch(off, need);
+                    self.committed += need;
                 }
                 self.pool.insert(MmapChunk {
                     id: off as u64,
@@ -304,8 +368,7 @@ impl LargePool {
             if tail_pages == 0 {
                 continue;
             }
-            self.extents
-                .push((off + e.allocated - tail_pages, tail_pages));
+            self.push_extent(off + e.allocated - tail_pages, tail_pages);
             self.stats.live_bytes -= tail_pages;
             released += tail_pages;
             // Rewrite the header with the reduced size (plain hand-outs
@@ -448,6 +511,63 @@ mod tests {
         // Smaller request still succeeds.
         let a = p.alloc(256 * KB, PAGE);
         assert!(a.is_some());
+    }
+
+    #[test]
+    fn trim_decommits_and_reuse_is_cold() {
+        let mut p = pool(16);
+        let a = p.alloc(512 * KB, PAGE).unwrap();
+        // SAFETY: fresh allocation.
+        unsafe {
+            std::ptr::write_bytes(a.as_ptr(), 0xEE, 512 * KB);
+            p.free(a);
+        }
+        let committed_before = p.stats().committed;
+        assert!(committed_before > 0);
+        // Trim everything into extents: on mmap hosts the pages go back
+        // to the kernel and the committed gauge drops below reserved.
+        p.management_round(0, 0, 0, 256 * KB);
+        let s = p.stats();
+        let mapping = crate::platform::platform().supports_mapping();
+        if mapping {
+            assert!(s.decommitted > 0, "trim performed a real decommit");
+            assert!(s.committed < committed_before);
+            assert!(s.committed < s.backing_reserved);
+        } else {
+            assert_eq!(s.decommitted, 0);
+        }
+        // Decommit-then-reuse round trip: the cold extent serves a new
+        // allocation, zero-filled, and the faults are accounted.
+        let cold_before = p.stats().cold_allocs;
+        let b = p.alloc(256 * KB, PAGE).unwrap();
+        // SAFETY: fresh allocation.
+        unsafe {
+            if mapping {
+                assert_eq!(*b.as_ptr(), 0, "decommitted pages read back zero");
+            }
+            std::ptr::write_bytes(b.as_ptr(), 0x31, 256 * KB);
+            assert_eq!(*b.as_ptr(), 0x31);
+            p.free(b);
+        }
+        if mapping {
+            assert!(p.stats().cold_allocs > cold_before, "cold reuse counted");
+        }
+    }
+
+    #[test]
+    fn bump_grows_into_mapped_reservation() {
+        let mut p = LargePool::new(Arena::map(1 << 20, 16 << 20, false).unwrap(), THRESH, 8);
+        // 4 MiB exceeds the 1 MiB initial capacity but fits the 16 MiB
+        // reservation: served via Arena::grow, not refused.
+        let a = p.alloc(4 << 20, PAGE).unwrap();
+        // SAFETY: fresh allocation.
+        unsafe {
+            std::ptr::write_bytes(a.as_ptr(), 0x44, 4 << 20);
+            p.free(a);
+        }
+        assert_eq!(p.stats().backing_reserved, 16 << 20);
+        // Beyond the reservation still refuses.
+        assert!(p.alloc(32 << 20, PAGE).is_none());
     }
 
     #[test]

@@ -142,8 +142,12 @@ fn heap_round(shared: &Shared, shard: &Shard) {
     } else if top_free > th.trim_thr {
         let mut g = lock(&shard.heap);
         let released = g.raw.trim(th.tgt_mem);
+        // The trim shrank the break; hand the now-unreachable committed
+        // tail back to the kernel (no-op on non-mapping platforms).
+        let decommitted = g.raw.decommit_tail();
         drop(g);
         Counters::add(&shard.counters.trimmed_bytes, released as u64);
+        Counters::add(&shard.counters.decommitted_bytes, decommitted as u64);
     }
 }
 
@@ -151,13 +155,16 @@ fn large_round(shard: &Shard) {
     let mut g = lock(&shard.large);
     let th = g.tracker.roll_interval();
     let before = g.pool.pool_total();
+    let decommitted_before = g.pool.stats().decommitted;
     g.pool
         .management_round(th.rsv_thr, th.tgt_mem, th.trim_thr, th.mem_chunk);
     let after = g.pool.pool_total();
+    let decommitted = g.pool.stats().decommitted - decommitted_before;
     drop(g);
     if after > before {
         Counters::add(&shard.counters.reserved_bytes, (after - before) as u64);
     } else {
         Counters::add(&shard.counters.trimmed_bytes, (before - after) as u64);
     }
+    Counters::add(&shard.counters.decommitted_bytes, decommitted);
 }

@@ -22,8 +22,15 @@
 //!   dozens of blocks (`HERMES_TCACHE=0` disables, restoring the
 //!   lock-per-allocation shape).
 //! * [`global::Hermes`] — a zero-sized `#[global_allocator]` facade that
-//!   lazily boots a [`HermesHeap`], carving its static BSS backing into N
-//!   sub-arenas.
+//!   lazily boots a [`HermesHeap`] over lazily *mapped* per-shard arenas
+//!   (sized by the `HERMES_HEAP_MB`/`HERMES_LARGE_MB` knobs, growable on
+//!   demand within a larger reservation); targets without the raw-mmap
+//!   platform keep the legacy static-BSS carve.
+//!
+//! On hosts with more than one NUMA node each shard's backing is pinned
+//! (best-effort `mbind`) to node `i % nodes`, and a thread's home shard
+//! is chosen among the shards of the node it is running on — node-local
+//! allocation with the same ticket-based spreading within the node.
 //!
 //! # Examples
 //!
@@ -57,7 +64,10 @@ pub use heap::{HeapError, HeapStats, RawHeap};
 pub use large::{LargePool, LargeStats};
 pub use stats::{ArenaStats, Counters, CountersSnapshot};
 
-use crate::config::{default_arena_count, HermesConfig};
+use crate::config::{
+    default_arena_count, default_heap_capacity, default_large_capacity, HermesConfig,
+};
+use crate::platform::platform;
 use crate::policy::thresholds::{per_shard_min_rsv, ThresholdTracker};
 use manager::ManagerHandle;
 use std::alloc::Layout;
@@ -70,14 +80,24 @@ use std::sync::{Arc, Mutex, MutexGuard, TryLockError, Weak};
 /// Sizing of a [`HermesHeap`].
 #[derive(Debug, Clone)]
 pub struct HermesHeapConfig {
-    /// Total capacity of the main-heap backing, split across arenas.
+    /// Initially exposed capacity of the main-heap backing, split across
+    /// arenas. With `reserve_factor > 1` this is a starting size, not a
+    /// ceiling: mapped arenas grow on demand within their reservation.
     pub heap_capacity: usize,
-    /// Total capacity of the large-chunk backing, split across arenas.
+    /// Initially exposed capacity of the large-chunk backing, split
+    /// across arenas (growable, as above).
     pub large_capacity: usize,
     /// Number of arena shards. Defaults to `min(ncpus, 8)`, overridable
     /// with the `HERMES_ARENAS` environment variable; `1` reproduces the
     /// paper's single-heap prototype exactly.
     pub arenas: usize,
+    /// Address-space reservation multiplier: each mapped arena reserves
+    /// `capacity x this` of virtual address space and exposes `capacity`,
+    /// growing on demand ([`Arena::grow`]) up to the reservation. `1`
+    /// restores the fixed-ceiling behaviour (exhaustion at `capacity`).
+    /// Reserved-but-unexposed space is virtual only: it costs no
+    /// physical memory on an overcommitting kernel.
+    pub reserve_factor: usize,
     /// Policy knobs.
     pub hermes: HermesConfig,
 }
@@ -85,21 +105,24 @@ pub struct HermesHeapConfig {
 impl Default for HermesHeapConfig {
     fn default() -> Self {
         HermesHeapConfig {
-            heap_capacity: 256 << 20,
-            large_capacity: 512 << 20,
+            heap_capacity: default_heap_capacity(),
+            large_capacity: default_large_capacity(),
             arenas: default_arena_count(),
+            reserve_factor: 4,
             hermes: HermesConfig::default(),
         }
     }
 }
 
 impl HermesHeapConfig {
-    /// A small configuration for tests (16 MiB + 64 MiB).
+    /// A small configuration for tests (16 MiB + 64 MiB, fixed size:
+    /// `reserve_factor` 1 keeps exhaustion semantics deterministic).
     pub fn small() -> Self {
         HermesHeapConfig {
             heap_capacity: 16 << 20,
             large_capacity: 64 << 20,
             arenas: default_arena_count(),
+            reserve_factor: 1,
             hermes: HermesConfig::default(),
         }
     }
@@ -107,6 +130,13 @@ impl HermesHeapConfig {
     /// Returns a copy with a different arena count (clamped to >= 1).
     pub fn with_arena_count(mut self, arenas: usize) -> Self {
         self.arenas = arenas.max(1);
+        self
+    }
+
+    /// Returns a copy with a different reservation multiplier (clamped
+    /// to >= 1).
+    pub fn with_reserve_factor(mut self, factor: usize) -> Self {
+        self.reserve_factor = factor.max(1);
         self
     }
 }
@@ -149,10 +179,18 @@ pub(crate) struct Shard {
     pub heap: Mutex<HeapState>,
     pub large: Mutex<LargeState>,
     pub counters: Counters,
+    /// NUMA node this shard's backings prefer (0 on single-node hosts).
+    pub node: usize,
 }
 
 impl Shard {
-    fn new(heap_arena: Arena, large_arena: Arena, cfg: &HermesConfig, shards: usize) -> Self {
+    fn new(
+        heap_arena: Arena,
+        large_arena: Arena,
+        cfg: &HermesConfig,
+        shards: usize,
+        node: usize,
+    ) -> Self {
         let heap_tracker = ThresholdTracker::new(
             cfg.rsv_factor,
             per_shard_min_rsv(cfg.min_rsv, shards, PAGE),
@@ -179,6 +217,7 @@ impl Shard {
                 tracker: large_tracker,
             }),
             counters: Counters::new(),
+            node,
         }
     }
 }
@@ -212,9 +251,13 @@ pub(crate) struct Shared {
     /// (see `tcache`).
     pub reclaim_epoch: AtomicU64,
     /// The largest single request any shard could ever serve (the
-    /// biggest large-arena capacity); bigger requests fail fast with
-    /// [`AllocError::Oversized`] instead of sweeping every shard.
+    /// biggest large-arena *reservation*, since arenas grow on demand);
+    /// bigger requests fail fast with [`AllocError::Oversized`] instead
+    /// of sweeping every shard.
     pub max_request: usize,
+    /// NUMA nodes discovered at construction (>= 1). More than one
+    /// switches home-shard selection to node-local placement.
+    pub numa_nodes: usize,
 }
 
 impl Shared {
@@ -225,6 +268,34 @@ impl Shared {
         let &(base, _, shard, is_large) = self.ranges.get(i)?;
         (addr >= base).then_some((shard, is_large))
     }
+
+    /// The home shard for affinity `ticket` on the calling thread:
+    /// plain round-robin on single-node hosts, node-local round-robin
+    /// (among the shards pinned to the thread's current NUMA node) when
+    /// the host has several nodes.
+    pub(crate) fn home_shard_for(&self, ticket: usize) -> usize {
+        if self.numa_nodes <= 1 {
+            return ticket % self.shards.len();
+        }
+        node_local_home(ticket, thread_node(), self.shards.len(), self.numa_nodes)
+    }
+}
+
+/// Pure node-local home-shard selection: shard `i` lives on node
+/// `i % nodes`, so the shards of node `d` are `{d, d+nodes, d+2*nodes,
+/// ...}` and the ticket round-robins within that subset.
+fn node_local_home(ticket: usize, node: usize, shards: usize, nodes: usize) -> usize {
+    if nodes <= 1 {
+        return ticket % shards;
+    }
+    let d = node % nodes;
+    if d >= shards {
+        // More nodes than shards and this node has none: fall back to
+        // the plain spread rather than cross-route every thread.
+        return ticket % shards;
+    }
+    let node_shards = (shards - d).div_ceil(nodes);
+    d + nodes * (ticket % node_shards)
 }
 
 /// Process-wide ticket dispenser for thread→arena affinity. Each thread
@@ -237,6 +308,26 @@ static NEXT_HEAP_ID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static THREAD_TICKET: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// The NUMA node this thread first allocated on (getcpu, cached: a
+    /// thread migrating nodes keeps its original home for affinity
+    /// stability; the kernel's preferred-node policy still applies).
+    static THREAD_NODE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's cached NUMA node; 0 when TLS is unavailable.
+fn thread_node() -> usize {
+    THREAD_NODE
+        .try_with(|c| {
+            let v = c.get();
+            if v != usize::MAX {
+                v
+            } else {
+                let (_, node) = platform().current_cpu_node();
+                c.set(node);
+                node
+            }
+        })
+        .unwrap_or(0)
 }
 
 /// This thread's affinity ticket. Falls back to ticket 0 when the
@@ -285,11 +376,16 @@ impl HermesHeap {
     /// Propagates [`ArenaError`] when a backing region cannot be reserved.
     pub fn new(cfg: HermesHeapConfig) -> Result<Self, ArenaError> {
         let n = cfg.arenas.max(1);
+        let factor = cfg.reserve_factor.max(1);
+        let huge = cfg.hermes.huge_pages;
         let heap_per = per_shard_capacity(cfg.heap_capacity, n);
         let large_per = per_shard_capacity(cfg.large_capacity, n);
         let mut sets = Vec::with_capacity(n);
         for _ in 0..n {
-            sets.push((Arena::reserve(heap_per)?, Arena::reserve(large_per)?));
+            sets.push((
+                Arena::map(heap_per, heap_per.saturating_mul(factor), huge)?,
+                Arena::map(large_per, large_per.saturating_mul(factor), huge)?,
+            ));
         }
         Ok(Self::with_arena_sets(sets, cfg.hermes))
     }
@@ -302,7 +398,13 @@ impl HermesHeap {
 
     /// Creates an allocator over caller-provided `(heap, large)` arena
     /// pairs, one shard per pair (used by the global-allocator bootstrap,
-    /// which hands in carved static BSS regions).
+    /// which hands in lazily mapped — or, on non-mmap targets, carved
+    /// static BSS — regions).
+    ///
+    /// Free-routing ranges span each arena's full *reservation*, so
+    /// pointers handed out after on-demand growth still route home. On
+    /// multi-node hosts each shard's backing is bound (best-effort) to
+    /// NUMA node `i % nodes`.
     ///
     /// # Panics
     ///
@@ -310,18 +412,24 @@ impl HermesHeap {
     pub fn with_arena_sets(sets: Vec<(Arena, Arena)>, cfg: HermesConfig) -> Self {
         assert!(!sets.is_empty(), "at least one arena pair required");
         let n = sets.len();
+        let numa_nodes = platform().numa_nodes().max(1);
         let mut ranges: Vec<RouteRange> = Vec::with_capacity(n * 2);
         let mut max_request = 0usize;
         let shards: Box<[Shard]> = sets
             .into_iter()
             .enumerate()
             .map(|(i, (h, l))| {
+                let node = i % numa_nodes;
+                if numa_nodes > 1 {
+                    h.bind_to_node(node);
+                    l.bind_to_node(node);
+                }
                 let hb = h.base().as_ptr() as usize;
-                ranges.push((hb, hb + h.capacity(), i, false));
+                ranges.push((hb, hb + h.reserved(), i, false));
                 let lb = l.base().as_ptr() as usize;
-                ranges.push((lb, lb + l.capacity(), i, true));
-                max_request = max_request.max(l.capacity());
-                Shard::new(h, l, &cfg, n)
+                ranges.push((lb, lb + l.reserved(), i, true));
+                max_request = max_request.max(l.reserved());
+                Shard::new(h, l, &cfg, n, node)
             })
             .collect();
         ranges.sort_unstable_by_key(|&(base, ..)| base);
@@ -336,6 +444,7 @@ impl HermesHeap {
             quiet_rounds: AtomicU64::new(0),
             reclaim_epoch: AtomicU64::new(0),
             max_request,
+            numa_nodes,
         });
         HermesHeap {
             shared,
@@ -348,9 +457,11 @@ impl HermesHeap {
         self.shared.shards.len()
     }
 
-    /// The calling thread's home arena index.
+    /// The calling thread's home arena index: round-robin by thread
+    /// ticket, restricted to the shards of the thread's NUMA node on
+    /// multi-node hosts.
     pub fn home_arena(&self) -> usize {
-        thread_ticket() % self.shared.shards.len()
+        self.shared.home_shard_for(thread_ticket())
     }
 
     /// Index of the arena owning `ptr`, or `None` for foreign pointers.
@@ -446,6 +557,7 @@ impl HermesHeap {
             heap,
             large: lock(&s.large).pool.stats(),
             counters,
+            node: s.node,
         }
     }
 
@@ -920,6 +1032,7 @@ mod tests {
             heap_capacity: PAGE * 64 * 4,
             large_capacity: PAGE * 64 * 4,
             arenas: 4,
+            reserve_factor: 1,
             hermes: HermesConfig::default(),
         };
         let h = HermesHeap::new(cfg).unwrap();
@@ -1085,6 +1198,7 @@ mod tests {
             heap_capacity: PAGE * 64,
             large_capacity: PAGE * 64,
             arenas: 1,
+            reserve_factor: 1,
             hermes: HermesConfig::default(),
         };
         let h = HermesHeap::new(cfg).unwrap();
@@ -1117,5 +1231,75 @@ mod tests {
         // must serve from neighbours.
         let c = exhaustion_spills(PAGE * 25, 4);
         assert_eq!(c.fast_small + c.slow_small, 4, "served by the heap path");
+    }
+
+    #[test]
+    fn reserve_factor_grows_shards_past_initial_capacity() {
+        // One shard, 1 MiB exposed, 8 MiB reserved: a 4 MiB burst must
+        // be served by on-demand growth, not exhaustion.
+        let cfg = HermesHeapConfig {
+            heap_capacity: 1 << 20,
+            large_capacity: 1 << 20,
+            arenas: 1,
+            reserve_factor: 8,
+            hermes: HermesConfig::default(),
+        };
+        let h = HermesHeap::new(cfg).unwrap();
+        let chunk = 64 << 10; // small path (below the mmap threshold)
+        let mut ptrs = Vec::new();
+        for _ in 0..64 {
+            ptrs.push(h.allocate(layout(chunk)).expect("growth serves"));
+        }
+        let a = h.arena_stats(0);
+        assert!(
+            a.heap.brk > 1 << 20,
+            "segment grew past the initial 1 MiB exposure: brk {}",
+            a.heap.brk
+        );
+        assert!(
+            a.heap.backing_reserved > a.heap.brk,
+            "headroom remains: {} reserved vs brk {}",
+            a.heap.backing_reserved,
+            a.heap.brk
+        );
+        for p in ptrs {
+            // SAFETY: live, freed once.
+            unsafe { h.deallocate(p, layout(chunk)) };
+        }
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn stats_report_arena_numa_node() {
+        let h = HermesHeap::new(HermesHeapConfig::small().with_arena_count(2)).unwrap();
+        for i in 0..2 {
+            assert!(h.arena_stats(i).node < platform().numa_nodes().max(1));
+        }
+    }
+
+    #[test]
+    fn node_local_home_partitions_shards_by_node() {
+        // Single node: plain round-robin.
+        assert_eq!(node_local_home(5, 0, 4, 1), 1);
+        // 8 shards / 2 nodes: node 0 owns {0,2,4,6}, node 1 owns {1,3,5,7}.
+        let homes0: Vec<usize> = (0..4).map(|t| node_local_home(t, 0, 8, 2)).collect();
+        let homes1: Vec<usize> = (0..4).map(|t| node_local_home(t, 1, 8, 2)).collect();
+        assert_eq!(homes0, vec![0, 2, 4, 6]);
+        assert_eq!(homes1, vec![1, 3, 5, 7]);
+        // Uneven split: 5 shards / 2 nodes → node 0 {0,2,4}, node 1 {1,3}.
+        assert_eq!(node_local_home(2, 0, 5, 2), 4);
+        assert_eq!(node_local_home(2, 1, 5, 2), 1);
+        // More nodes than shards: a node with no shard falls back.
+        assert_eq!(node_local_home(3, 2, 2, 4), 1);
+        // Every result is in range.
+        for shards in 1..9 {
+            for nodes in 1..5 {
+                for node in 0..nodes {
+                    for t in 0..16 {
+                        assert!(node_local_home(t, node, shards, nodes) < shards);
+                    }
+                }
+            }
+        }
     }
 }

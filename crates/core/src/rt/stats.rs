@@ -34,6 +34,9 @@ pub struct Counters {
     pub reserved_bytes: AtomicU64,
     /// Bytes released by trims.
     pub trimmed_bytes: AtomicU64,
+    /// Bytes returned to the kernel (`madvise(DONTNEED)`) by the
+    /// management thread's trim and delayed-shrink decommits.
+    pub decommitted_bytes: AtomicU64,
     /// Allocations served from a warm thread cache. Live caches tally
     /// hits locally (the warm path performs no shared atomic RMW for
     /// this); a cache folds its tally in here when drained, and snapshot
@@ -73,6 +76,8 @@ pub struct CountersSnapshot {
     pub reserved_bytes: u64,
     /// Bytes trimmed back.
     pub trimmed_bytes: u64,
+    /// Bytes decommitted back to the kernel.
+    pub decommitted_bytes: u64,
     /// Warm thread-cache hits.
     pub tcache_hits: u64,
     /// Thread-cache refill events.
@@ -113,6 +118,7 @@ impl Counters {
             manager_busy_ns: self.manager_busy_ns.load(Ordering::Relaxed),
             reserved_bytes: self.reserved_bytes.load(Ordering::Relaxed),
             trimmed_bytes: self.trimmed_bytes.load(Ordering::Relaxed),
+            decommitted_bytes: self.decommitted_bytes.load(Ordering::Relaxed),
             tcache_hits: self.tcache_hits.load(Ordering::Relaxed),
             tcache_refills: self.tcache_refills.load(Ordering::Relaxed),
             tcache_flushes: self.tcache_flushes.load(Ordering::Relaxed),
@@ -133,6 +139,8 @@ impl Counters {
 pub struct ArenaStats {
     /// Index of the arena within the runtime's shard set.
     pub index: usize,
+    /// NUMA node this arena's backing prefers (0 on single-node hosts).
+    pub node: usize,
     /// Main-heap statistics of this arena.
     pub heap: HeapStats,
     /// Large-path statistics of this arena.
@@ -155,6 +163,7 @@ impl CountersSnapshot {
         self.manager_busy_ns += other.manager_busy_ns;
         self.reserved_bytes += other.reserved_bytes;
         self.trimmed_bytes += other.trimmed_bytes;
+        self.decommitted_bytes += other.decommitted_bytes;
         self.tcache_hits += other.tcache_hits;
         self.tcache_refills += other.tcache_refills;
         self.tcache_flushes += other.tcache_flushes;

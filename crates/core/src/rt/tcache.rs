@@ -455,7 +455,7 @@ fn register_and_run<R>(shared: &Arc<Shared>, f: impl FnOnce(&ThreadCache) -> R) 
     }
     let result = (|| {
         let cache = Arc::new(ThreadCache {
-            home: super::thread_ticket() % shared.shards.len(),
+            home: shared.home_shard_for(super::thread_ticket()),
             shared: Arc::downgrade(shared),
             seen_epoch: Cell::new(shared.reclaim_epoch.load(Ordering::Relaxed)),
             mags: UnsafeCell::new(Magazines::new()),

@@ -48,6 +48,7 @@ fn eight_threads_mixed_sizes_cross_thread_frees() {
             heap_capacity: 128 << 20,
             large_capacity: 256 << 20,
             arenas: 4,
+            reserve_factor: 1,
             hermes: HermesConfig::default().with_tcache(false),
         })
         .unwrap(),
@@ -157,6 +158,7 @@ fn producer_consumer_cross_thread_frees_with_caches() {
             heap_capacity: 128 << 20,
             large_capacity: 256 << 20,
             arenas: 4,
+            reserve_factor: 1,
             hermes: HermesConfig::default().with_tcache(true),
         })
         .unwrap(),

@@ -67,6 +67,14 @@ pub struct ServiceLatencyRun {
     pub p999: SimDuration,
     /// Reserved-but-unused bytes at the end (backend stats snapshot).
     pub reserved_unused_bytes: usize,
+    /// Backing bytes with mappings constructed at the end (real Hermes;
+    /// zero for backends without a mapped backing).
+    pub committed_bytes: usize,
+    /// Total reserved backing address space at the end (the on-demand
+    /// growth ceiling; real Hermes only).
+    pub backing_reserved_bytes: usize,
+    /// Bytes handed back to the kernel by decommits over the run.
+    pub decommitted_bytes: u64,
 }
 
 /// Drives `queries` insert+read queries of `record_bytes` against a
@@ -124,6 +132,9 @@ pub fn run_service_latency(
         p99,
         p999,
         reserved_unused_bytes: stats.reserved_unused_bytes,
+        committed_bytes: stats.committed_bytes,
+        backing_reserved_bytes: stats.backing_reserved_bytes,
+        decommitted_bytes: stats.decommitted_bytes,
     }
 }
 
