@@ -149,6 +149,10 @@ pub struct BackendStats {
     /// Bytes returned to the kernel by `madvise(DONTNEED)` decommits,
     /// cumulative (real Hermes only).
     pub decommitted_bytes: u64,
+    /// Bytes parked in remote-free staging chains and per-arena inboxes
+    /// — freed by the application, not yet drained back into a heap
+    /// (real Hermes only; zero where there is no remote-free queue).
+    pub remote_queued: usize,
 }
 
 /// A user-space allocator driven through opaque handles, in either time
@@ -397,6 +401,7 @@ impl AllocatorBackend for SimBackend {
             committed_bytes: 0,
             backing_reserved_bytes: 0,
             decommitted_bytes: 0,
+            remote_queued: 0,
         }
     }
 

@@ -250,6 +250,7 @@ impl AllocatorBackend for RealHermesBackend {
             committed_bytes: hs.committed + ls.committed,
             backing_reserved_bytes: hs.backing_reserved + ls.backing_reserved,
             decommitted_bytes: hs.decommitted + ls.decommitted,
+            remote_queued: c.remote_queued_bytes as usize,
         }
     }
 
@@ -392,6 +393,7 @@ impl AllocatorBackend for RealSystemBackend {
             committed_bytes: 0,
             backing_reserved_bytes: 0,
             decommitted_bytes: 0,
+            remote_queued: 0,
         }
     }
 }

@@ -137,6 +137,77 @@ fn cross_thread_free_lands_on_the_owner() {
 }
 
 #[test]
+fn cross_thread_free_under_remote_queue_stays_lock_free() {
+    // The remote-free inbox contract over both real Hermes shapes
+    // (fixed backing and grow-on-demand): frees from a thread whose
+    // home shard differs from the owner must stage into the lock-free
+    // inboxes — zero lock fallbacks — and the queued bytes must be
+    // visible through the uniform `BackendStats` façade until a drain
+    // returns them to the heaps.
+    for base in [
+        HermesHeapConfig::small(),
+        HermesHeapConfig::small().with_reserve_factor(4),
+    ] {
+        let mut cfg = base.with_arena_count(4);
+        cfg.hermes = HermesConfig::default()
+            .with_tcache(true)
+            .with_remote_queue(true);
+        let mut b = RealHermesBackend::with_heap_config(cfg).expect("arena reservation");
+        let label = b.kind().label();
+        let main_home = b.heap().home_arena();
+        let handles: Vec<_> = (0..48).map(|i| b.malloc(512 + i * 32).unwrap().0).collect();
+        // Free on a thread with a *different* home shard (tickets are
+        // handed out round-robin, but parallel tests also consume them,
+        // so probe until a spawned thread lands elsewhere).
+        let mut state = Some((b, Some(handles)));
+        for _ in 0..16 {
+            let (bb, hs) = state.take().expect("backend in flight");
+            state = Some(
+                std::thread::spawn(move || {
+                    let mut bb = bb;
+                    match hs {
+                        // Wrong parity: hand everything back untouched.
+                        Some(hs) if bb.heap().home_arena() == main_home => (bb, Some(hs)),
+                        Some(hs) => {
+                            for h in hs {
+                                bb.free(h);
+                            }
+                            (bb, None)
+                        }
+                        None => (bb, None),
+                    }
+                })
+                .join()
+                .unwrap_or_else(|_| panic!("{label}: freeing thread panicked")),
+            );
+            if state.as_ref().is_some_and(|(_, hs)| hs.is_none()) {
+                break;
+            }
+        }
+        let (b, leftovers) = state.expect("backend returned");
+        assert!(
+            leftovers.is_none(),
+            "{label}: no foreign-home thread found in 16 tries"
+        );
+        let c = b.heap().counters();
+        assert!(c.remote_frees > 0, "{label}: frees staged remotely");
+        assert_eq!(
+            c.remote_lock_falls, 0,
+            "{label}: no remote free took the owner's lock"
+        );
+        let s = b.stats();
+        assert_eq!(s.live, 0, "{label}: all handles retired");
+        assert!(
+            s.remote_queued > 0,
+            "{label}: queued bytes visible before the drain"
+        );
+        b.heap().drain_remote_inboxes();
+        assert_eq!(b.stats().remote_queued, 0, "{label}: drain emptied inboxes");
+        b.check().unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
 fn free_of_unknown_handle_is_a_safe_noop_for_real_backends() {
     for kind in [BackendKind::RealHermes, BackendKind::RealSystem] {
         let mut b: Box<dyn AllocatorBackend> = match kind {

@@ -9,6 +9,14 @@
 //! all. Shape claims: at 4+ threads sharding beats the single arena, and
 //! at 8 threads the caches beat bare sharding (arenas fixed).
 //!
+//! A third sweep — the `remote_free` axis — measures the cross-shard
+//! *free* path: producer/consumer pairs over an mpsc pipeline (every
+//! consumer free lands on a foreign shard) with the remote-free inboxes
+//! off (each free takes the owner's lock) versus on (frees stage into
+//! the lock-free queues). The 1-thread cell is the owner-local control:
+//! both knob settings take the same home paths, so its paired ratio
+//! doubles as the no-regression check for local workloads.
+//!
 //! Besides the CSV series, the run writes `results/BENCH_PR.json` — the
 //! threads × tcache median-ns/op summary that CI's `bench-smoke` job
 //! uploads on every PR, extending the performance trajectory.
@@ -189,6 +197,183 @@ fn run_cell(threads: usize, arenas: usize, tcache: bool) -> Cell {
     }
 }
 
+/// One measured configuration of the `remote_free` axis.
+struct RemoteCell {
+    /// Total worker threads (producers + consumers; 1 = local control).
+    threads: usize,
+    queue: bool,
+    mops: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// Cacheable-only size schedule for the remote axis: every free is a
+/// small-path free, so the two knob settings compare the cross-shard
+/// *free* protocols and nothing else.
+fn remote_size_for(pair: usize, i: usize) -> usize {
+    17 + (i * 131 + pair * 977) % 2_000
+}
+
+/// Allocations per remote cell (split across the cell's pairs). A
+/// quarter of the main sweep's budget: each op here is an allocation
+/// *plus* a pipelined cross-thread free plus channel traffic.
+fn remote_total_ops() -> usize {
+    total_ops() / 4
+}
+
+/// In-flight bound of each producer→consumer pipeline: deep enough to
+/// decouple the pair, shallow enough that the footprint stays small.
+const PIPELINE_DEPTH: usize = 256;
+
+/// Producer/consumer cell: `threads / 2` pairs (or, at `threads == 1`,
+/// one thread churning its own blocks — the owner-local control). The
+/// sampled latency is the *consumer free*, the op whose path the knob
+/// changes; throughput counts allocations.
+fn run_remote_cell(threads: usize, queue: bool) -> RemoteCell {
+    let heap = Arc::new(
+        HermesHeap::new(HermesHeapConfig {
+            heap_capacity: 64 << 20,
+            large_capacity: 64 << 20,
+            arenas: MULTI_ARENAS,
+            reserve_factor: 1,
+            hermes: HermesConfig::default()
+                .with_tcache(true)
+                .with_remote_queue(queue),
+        })
+        .expect("arena reservation"),
+    );
+    for _ in 0..4 {
+        heap.run_management_round();
+    }
+    let pairs = (threads / 2).max(1);
+    let ops = remote_total_ops() / pairs;
+    let workers = if threads == 1 { 1 } else { pairs * 2 };
+    let barrier = Arc::new(Barrier::new(workers + 1));
+
+    let mut handles = Vec::new();
+    if threads == 1 {
+        let heap = Arc::clone(&heap);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let layouts: Vec<Layout> = (0..ops)
+                .map(|i| Layout::from_size_align(remote_size_for(0, i), 16).unwrap())
+                .collect();
+            let mut live: Vec<(usize, Layout)> = Vec::with_capacity(LIVE_CAP);
+            let mut lat = Vec::with_capacity(ops / LAT_EVERY + 1);
+            barrier.wait();
+            let t_start = Instant::now();
+            for (i, &l) in layouts.iter().enumerate() {
+                let p = heap.allocate(l).expect("capacity");
+                // SAFETY: fresh allocation; first byte is writable.
+                unsafe { std::ptr::write_volatile(p.as_ptr(), 1) };
+                live.push((p.as_ptr() as usize, l));
+                if live.len() >= LIVE_CAP {
+                    let (addr, fl) = live.swap_remove(i % LIVE_CAP);
+                    let fp = std::ptr::NonNull::new(addr as *mut u8).unwrap();
+                    if i % LAT_EVERY == 0 {
+                        let t0 = Instant::now();
+                        // SAFETY: removed from the live set; freed once.
+                        unsafe { heap.deallocate(fp, fl) };
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                    } else {
+                        // SAFETY: removed from the live set; freed once.
+                        unsafe { heap.deallocate(fp, fl) };
+                    }
+                }
+            }
+            for (addr, fl) in live {
+                let fp = std::ptr::NonNull::new(addr as *mut u8).unwrap();
+                // SAFETY: still live; freed exactly once.
+                unsafe { heap.deallocate(fp, fl) };
+            }
+            heap.drain_thread_cache();
+            (t_start, Instant::now(), lat)
+        }));
+    } else {
+        for pair in 0..pairs {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, Layout)>(PIPELINE_DEPTH);
+            let producer = {
+                let heap = Arc::clone(&heap);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let layouts: Vec<Layout> = (0..ops)
+                        .map(|i| Layout::from_size_align(remote_size_for(pair, i), 16).unwrap())
+                        .collect();
+                    barrier.wait();
+                    let t_start = Instant::now();
+                    for &l in &layouts {
+                        let p = heap.allocate(l).expect("capacity");
+                        // SAFETY: fresh allocation; first byte writable.
+                        unsafe { std::ptr::write_volatile(p.as_ptr(), 1) };
+                        tx.send((p.as_ptr() as usize, l)).expect("consumer alive");
+                    }
+                    drop(tx);
+                    heap.drain_thread_cache();
+                    (t_start, Instant::now(), Vec::new())
+                })
+            };
+            let consumer = {
+                let heap = Arc::clone(&heap);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut lat = Vec::with_capacity(ops / LAT_EVERY + 1);
+                    barrier.wait();
+                    let t_start = Instant::now();
+                    let mut i = 0usize;
+                    while let Ok((addr, l)) = rx.recv() {
+                        let p = std::ptr::NonNull::new(addr as *mut u8).unwrap();
+                        if i % LAT_EVERY == 0 {
+                            let t0 = Instant::now();
+                            // SAFETY: handed off by the producer; freed once.
+                            unsafe { heap.deallocate(p, l) };
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                        } else {
+                            // SAFETY: handed off by the producer; freed once.
+                            unsafe { heap.deallocate(p, l) };
+                        }
+                        i += 1;
+                    }
+                    heap.drain_thread_cache();
+                    (t_start, Instant::now(), lat)
+                })
+            };
+            handles.push(producer);
+            handles.push(consumer);
+        }
+    }
+
+    barrier.wait();
+    let mut lats: Vec<u64> = Vec::new();
+    let mut first_start: Option<Instant> = None;
+    let mut last_end: Option<Instant> = None;
+    for h in handles {
+        let (start, end, lat) = h.join().expect("worker thread");
+        first_start = Some(first_start.map_or(start, |s| s.min(start)));
+        last_end = Some(last_end.map_or(end, |e| e.max(end)));
+        lats.extend(lat);
+    }
+    let wall = last_end.unwrap() - first_start.unwrap();
+    heap.drain_remote_inboxes();
+    if queue {
+        let c = heap.counters();
+        assert_eq!(
+            c.remote_lock_falls, 0,
+            "remote frees must never fall back to the owner's lock"
+        );
+    }
+    heap.check_integrity().expect("heap intact after sweep");
+
+    lats.sort_unstable();
+    let pick = |q: f64| lats[((lats.len() as f64 * q) as usize).min(lats.len() - 1)];
+    RemoteCell {
+        threads,
+        queue,
+        mops: (ops * pairs) as f64 / wall.as_secs_f64() / 1e6,
+        p50_ns: pick(0.50),
+        p99_ns: pick(0.99),
+    }
+}
+
 fn find(cells: &[Cell], threads: usize, arenas: usize, tcache: bool) -> &Cell {
     cells
         .iter()
@@ -276,6 +461,55 @@ fn main() {
     }
     cells.sort_by_key(|c| (c.arenas, c.tcache, c.threads));
 
+    // remote_free axis: producer/consumer pipeline, queue off vs on, in
+    // an A-B-B-A palindrome per repetition for the same drift-cancelling
+    // pairing as above (A = queue off, B = queue on).
+    let mut r_reps: Vec<RemoteCell> = Vec::new();
+    let mut r_ratios: Vec<(usize, f64)> = Vec::new(); // (threads, B/A)
+    for _ in 0..REPS {
+        for &threads in &THREAD_COUNTS {
+            let a1 = run_remote_cell(threads, false);
+            let b1 = run_remote_cell(threads, true);
+            let b2 = run_remote_cell(threads, true);
+            let a2 = run_remote_cell(threads, false);
+            r_ratios.push((threads, ((b1.mops / a1.mops) * (b2.mops / a2.mops)).sqrt()));
+            r_reps.extend([a1, b1, b2, a2]);
+        }
+    }
+    let r_median_ratio = |threads: usize| -> f64 {
+        let v: Vec<u64> = r_ratios
+            .iter()
+            .filter(|&&(t, _)| t == threads)
+            .map(|&(_, q)| (q * 1e4) as u64)
+            .collect();
+        median(v) as f64 / 1e4
+    };
+    let r_pooled_ratio = || -> f64 {
+        let v: Vec<u64> = r_ratios
+            .iter()
+            .filter(|&&(t, _)| t >= 4)
+            .map(|&(_, q)| (q * 1e4) as u64)
+            .collect();
+        median(v) as f64 / 1e4
+    };
+    let mut r_cells: Vec<RemoteCell> = Vec::new();
+    for &queue in &[false, true] {
+        for &threads in &THREAD_COUNTS {
+            let of_cell: Vec<&RemoteCell> = r_reps
+                .iter()
+                .filter(|c| c.threads == threads && c.queue == queue)
+                .collect();
+            r_cells.push(RemoteCell {
+                threads,
+                queue,
+                mops: median(of_cell.iter().map(|c| (c.mops * 1e3) as u64).collect()) as f64 / 1e3,
+                p50_ns: median(of_cell.iter().map(|c| c.p50_ns).collect()),
+                p99_ns: median(of_cell.iter().map(|c| c.p99_ns).collect()),
+            });
+        }
+    }
+    r_cells.sort_by_key(|c| (c.queue, c.threads));
+
     println!(
         "\n{:>7} {:>7} {:>7} {:>10} {:>9} {:>9}",
         "threads", "arenas", "tcache", "Mops/s", "p50(ns)", "p99(ns)"
@@ -286,6 +520,24 @@ fn main() {
             c.threads,
             c.arenas,
             if c.tcache { "on" } else { "off" },
+            c.mops,
+            c.p50_ns,
+            c.p99_ns
+        );
+    }
+
+    println!(
+        "\nremote_free (producer/consumer, {MULTI_ARENAS} arenas, tcache on; free-side latency)"
+    );
+    println!(
+        "{:>7} {:>7} {:>10} {:>9} {:>9}",
+        "threads", "queue", "Mops/s", "p50(ns)", "p99(ns)"
+    );
+    for c in &r_cells {
+        println!(
+            "{:>7} {:>7} {:>10.2} {:>9} {:>9}",
+            c.threads,
+            if c.queue { "on" } else { "off" },
             c.mops,
             c.p50_ns,
             c.p99_ns
@@ -312,10 +564,27 @@ fn main() {
         println!("\ncsv: {}", csv.display());
     }
 
+    let r_csv = results_dir().join("remote_free.csv");
+    let mut r_out = String::from("threads,queue,mops,p50_ns,p99_ns\n");
+    for c in &r_cells {
+        r_out.push_str(&format!(
+            "{},{},{:.3},{},{}\n",
+            c.threads,
+            u8::from(c.queue),
+            c.mops,
+            c.p50_ns,
+            c.p99_ns
+        ));
+    }
+    if std::fs::write(&r_csv, r_out).is_ok() {
+        println!("csv: {}", r_csv.display());
+    }
+
     // The per-PR perf-trajectory summary CI uploads as an artifact:
     // threads x tcache median ns/op at the multi-arena configuration,
     // plus the headline paired speedups.
     write_bench_pr_json(&cells, pooled_ratio(CMP_SHARDING), pooled_ratio(CMP_TCACHE));
+    write_remote_free_json(&r_cells, r_pooled_ratio(), r_median_ratio(8));
 
     let mut checks = Checks::new();
     // Headline sharding acceptance (PR-3): pooled over the contended
@@ -363,7 +632,73 @@ fn main() {
         &format!("{} vs {} ns", m1.p99_ns, s1.p99_ns),
         m1.p99_ns <= s1.p99_ns * 2,
     );
+    // The remote-free inbox acceptance: where consumer frees cross
+    // shards, queueing beats locking; where they don't (the 1-thread
+    // owner-local control), the knob is free. The speedup is a
+    // *parallelism* claim — the freeing thread sheds the owner's lock
+    // and the drain work lands on other cores — so it is only
+    // measurable where producer, consumer and the draining manager can
+    // actually run concurrently. On hosts with fewer than 3 cores the
+    // threads time-slice one CPU, wall clock measures total
+    // instructions rather than contention, and the honest requirement
+    // degrades to "the queue does not collapse throughput".
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel_host = cores >= 3;
+    let rq_note = if parallel_host {
+        String::new()
+    } else {
+        format!(" ({cores} core(s): time-sliced, requiring >=0.7x)")
+    };
+    let rq8 = r_median_ratio(8);
+    checks.check(
+        "8 threads: remote queue beats locked cross-shard frees",
+        "inboxes bypass the owner's lock",
+        &format!("median paired speedup {rq8:.3}x{rq_note}"),
+        if parallel_host { rq8 > 1.0 } else { rq8 >= 0.7 },
+    );
+    let rq_pooled = r_pooled_ratio();
+    checks.check(
+        "4+ threads pooled: remote queue wins",
+        "inboxes bypass the owner's lock",
+        &format!("median paired speedup {rq_pooled:.3}x{rq_note}"),
+        if parallel_host {
+            rq_pooled > 1.0
+        } else {
+            rq_pooled >= 0.7
+        },
+    );
+    let rq1 = r_median_ratio(1);
+    checks.check(
+        "1 thread: owner-local control unharmed by the queue",
+        "home frees keep their cheap path",
+        &format!("median paired ratio {rq1:.3}x"),
+        rq1 >= 0.85,
+    );
     checks.finish();
+}
+
+/// The `remote_free` section of `results/BENCH_PR.json`: one series
+/// entry per (threads, queue) cell plus the headline paired speedups.
+fn write_remote_free_json(cells: &[RemoteCell], pooled: f64, at8: f64) {
+    let mut series = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            series.push_str(",\n");
+        }
+        series.push_str(&format!(
+            "    {{\"threads\": {}, \"queue\": {}, \"mops\": {:.3}, \"free_p50_ns\": {}, \"free_p99_ns\": {}}}",
+            c.threads, c.queue, c.mops, c.p50_ns, c.p99_ns
+        ));
+    }
+    // Record the host's parallelism: the paired speedups are a
+    // parallelism claim, meaningless to compare across hosts where the
+    // producer/consumer/manager trio cannot run concurrently.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"arenas\": {MULTI_ARENAS},\n  \"reps\": {REPS},\n  \"ops_per_cell\": {},\n  \"host_cores\": {cores},\n  \"series\": [\n{series}\n  ],\n  \"paired_median_speedup\": {{\"queue_4plus_threads\": {pooled:.4}, \"queue_8_threads\": {at8:.4}}}\n}}\n",
+        remote_total_ops(),
+    );
+    write_bench_pr_section("remote_free", &json);
 }
 
 /// Writes this bench's section of `results/BENCH_PR.json` by hand (no

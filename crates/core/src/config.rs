@@ -105,6 +105,35 @@ pub fn default_tcache_enabled() -> bool {
     true
 }
 
+/// Default state of the lock-free remote-free inboxes: enabled, unless
+/// `HERMES_REMOTE_QUEUE=0` (or `false`/`off`/`no`) disables them —
+/// restoring the locked cross-shard free path. Unparsable values warn
+/// once on stderr and keep the inboxes enabled.
+pub fn default_remote_queue_enabled() -> bool {
+    static WARN: Once = Once::new();
+    if let Ok(v) = std::env::var("HERMES_REMOTE_QUEUE") {
+        match parse_switch(&v) {
+            Some(b) => return b,
+            None => warn_invalid(&WARN, "HERMES_REMOTE_QUEUE", &v, "enabled"),
+        }
+    }
+    true
+}
+
+/// Default management-thread CPU pin: none, unless `HERMES_MANAGER_CORE`
+/// names a core index. Unparsable values warn once on stderr and leave
+/// the manager unpinned.
+pub fn default_manager_core() -> Option<usize> {
+    static WARN: Once = Once::new();
+    if let Ok(v) = std::env::var("HERMES_MANAGER_CORE") {
+        match v.trim().parse::<usize>() {
+            Ok(core) => return Some(core),
+            Err(_) => warn_invalid(&WARN, "HERMES_MANAGER_CORE", &v, "no pinning"),
+        }
+    }
+    None
+}
+
 /// Default main-heap capacity in bytes: `DEFAULT_HEAP_CAPACITY`,
 /// overridable with `HERMES_HEAP_MB` (MiB; clamped to
 /// `MIN_CAPACITY_MB..=MAX_CAPACITY_MB`, unparsable values warn once on
@@ -208,6 +237,16 @@ pub struct HermesConfig {
     /// `HERMES_HUGEPAGES` (off unless `=1`; see [`default_huge_pages`]
     /// for why it is opt-in).
     pub huge_pages: bool,
+    /// Lock-free remote-free inboxes (`rt::remote`): cross-shard frees
+    /// are staged per thread and pushed onto the owning arena's MPSC
+    /// queue instead of taking its lock. `false` restores the locked
+    /// cross-shard free path; default from `HERMES_REMOTE_QUEUE`
+    /// (enabled unless `=0`).
+    pub remote_queue: bool,
+    /// Pin the management thread to this CPU (SpeedMalloc's dedicated
+    /// management-core model); `None` leaves scheduling to the kernel.
+    /// Default from `HERMES_MANAGER_CORE` (unset = unpinned).
+    pub manager_core: Option<usize>,
 }
 
 impl Default for HermesConfig {
@@ -229,6 +268,8 @@ impl Default for HermesConfig {
             tcache: default_tcache_enabled(),
             tcache_idle_rounds: 8,
             huge_pages: default_huge_pages(),
+            remote_queue: default_remote_queue_enabled(),
+            manager_core: default_manager_core(),
         }
     }
 }
@@ -260,6 +301,21 @@ impl HermesConfig {
     /// off (ignoring the `HERMES_HUGEPAGES` environment default).
     pub fn with_huge_pages(mut self, enabled: bool) -> Self {
         self.huge_pages = enabled;
+        self
+    }
+
+    /// Returns a copy with the remote-free inboxes forced on or off
+    /// (ignoring the `HERMES_REMOTE_QUEUE` environment default) — the
+    /// axis the `contention` bench's `remote_free` rows sweep.
+    pub fn with_remote_queue(mut self, enabled: bool) -> Self {
+        self.remote_queue = enabled;
+        self
+    }
+
+    /// Returns a copy with the management thread pinned to `core` (or
+    /// unpinned with `None`), ignoring `HERMES_MANAGER_CORE`.
+    pub fn with_manager_core(mut self, core: Option<usize>) -> Self {
+        self.manager_core = core;
         self
     }
 
@@ -373,6 +429,12 @@ mod tests {
         if std::env::var("HERMES_HUGEPAGES").is_err() {
             assert!(!default_huge_pages());
         }
+        if std::env::var("HERMES_REMOTE_QUEUE").is_err() {
+            assert!(default_remote_queue_enabled());
+        }
+        if std::env::var("HERMES_MANAGER_CORE").is_err() {
+            assert_eq!(default_manager_core(), None);
+        }
     }
 
     #[test]
@@ -398,6 +460,14 @@ mod tests {
         assert!(c.tcache);
         let c = HermesConfig::default().with_huge_pages(false);
         assert!(!c.huge_pages);
+        let c = HermesConfig::default().with_remote_queue(false);
+        assert!(!c.remote_queue);
+        let c = HermesConfig::default().with_remote_queue(true);
+        assert!(c.remote_queue);
+        let c = HermesConfig::default().with_manager_core(Some(3));
+        assert_eq!(c.manager_core, Some(3));
+        let c = HermesConfig::default().with_manager_core(None);
+        assert_eq!(c.manager_core, None);
     }
 
     #[test]

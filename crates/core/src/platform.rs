@@ -142,6 +142,14 @@ pub trait Platform: Send + Sync {
     ///
     /// The range must lie inside a live reservation.
     unsafe fn bind_to_node(&self, base: NonNull<u8>, len: usize, node: usize) -> bool;
+
+    /// Pins the calling thread to `cpu` (`sched_setaffinity(2)`), the
+    /// SpeedMalloc dedicated-management-core model. Best-effort: returns
+    /// `false` when refused (offline cpu, cgroup cpuset exclusion,
+    /// unsupported platform) and the thread stays kernel-scheduled.
+    fn pin_thread_to_cpu(&self, _cpu: usize) -> bool {
+        false
+    }
 }
 
 fn check_request(len: usize, align: usize) -> Result<(), PlatformError> {
@@ -216,6 +224,7 @@ mod linux {
         pub const MADVISE: usize = 28;
         pub const MBIND: usize = 237;
         pub const GETCPU: usize = 309;
+        pub const SCHED_SETAFFINITY: usize = 203;
     }
 
     #[cfg(target_arch = "aarch64")]
@@ -225,6 +234,7 @@ mod linux {
         pub const MADVISE: usize = 233;
         pub const MBIND: usize = 235;
         pub const GETCPU: usize = 168;
+        pub const SCHED_SETAFFINITY: usize = 122;
     }
 
     pub const PROT_READ: usize = 1;
@@ -468,6 +478,30 @@ impl Platform for LinuxPlatform {
         };
         !linux::is_err(ret)
     }
+
+    fn pin_thread_to_cpu(&self, cpu: usize) -> bool {
+        // A fixed 1024-cpu mask (128 bytes) covers every mainstream host;
+        // refusing larger indices keeps the mask on the stack.
+        if cpu >= 1024 {
+            return false;
+        }
+        let mut mask = [0u64; 16];
+        mask[cpu / 64] = 1u64 << (cpu % 64);
+        // SAFETY: pid 0 targets the calling thread; the mask pointer is
+        // valid for the stated 128-byte length for the whole call.
+        let ret = unsafe {
+            linux::syscall6(
+                linux::nr::SCHED_SETAFFINITY,
+                0,
+                core::mem::size_of_val(&mask),
+                mask.as_ptr() as usize,
+                0,
+                0,
+                0,
+            )
+        };
+        !linux::is_err(ret)
+    }
 }
 
 /// Fallback for targets without the raw syscall layer: reservations come
@@ -633,6 +667,23 @@ mod tests {
             std::ptr::write_volatile(base.as_ptr().add(len - 1), 3);
             p.release(base, len, PAGE_SIZE);
         }
+    }
+
+    #[test]
+    fn thread_pinning_is_best_effort() {
+        let p = platform();
+        // Pinning to cpu 0 may succeed or be refused (cpuset exclusion);
+        // both are valid, but the thread must keep running either way.
+        // An absurd cpu index must be refused, never fault. Run from a
+        // scratch thread so a successful pin cannot constrain the rest
+        // of the test suite's scheduling.
+        std::thread::spawn(move || {
+            let _ = p.pin_thread_to_cpu(0);
+            assert!(!p.pin_thread_to_cpu(usize::MAX));
+            assert!(!p.pin_thread_to_cpu(1024));
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -112,6 +112,17 @@ impl ThresholdTracker {
         self.window.count = self.window.count.saturating_sub(count);
     }
 
+    /// Records the return of `count` blocks totalling `bytes` — the
+    /// remote-free drain path, where chunk sizes vary within one batch
+    /// so the per-size form of [`ThresholdTracker::on_return`] does not
+    /// apply. Queued blocks stay booked as demand until drained, which
+    /// keeps reservation sizing honest about memory the inbox is still
+    /// holding away from the heap.
+    pub fn on_return_bytes(&mut self, bytes: usize, count: u64) {
+        self.window.bytes = self.window.bytes.saturating_sub(bytes);
+        self.window.count = self.window.count.saturating_sub(count);
+    }
+
     /// Demand accumulated in the not-yet-rolled interval.
     pub fn pending(&self) -> IntervalStats {
         self.window
@@ -260,6 +271,21 @@ mod tests {
         assert_eq!(t.pending(), IntervalStats::default());
         // Returns never underflow the window (saturating).
         t.on_return(512, 99);
+        assert_eq!(t.pending(), IntervalStats::default());
+    }
+
+    #[test]
+    fn byte_returns_unbook_mixed_sizes() {
+        // A remote-free drain returns a chain of mixed chunk sizes; the
+        // byte-form return must cancel the same demand the individual
+        // requests booked, and saturate rather than underflow.
+        let mut t = tracker();
+        t.on_request(512);
+        t.on_request(2048);
+        t.on_request(96);
+        t.on_return_bytes(512 + 2048 + 96, 3);
+        assert_eq!(t.pending(), IntervalStats::default());
+        t.on_return_bytes(1 << 30, 1000);
         assert_eq!(t.pending(), IntervalStats::default());
     }
 

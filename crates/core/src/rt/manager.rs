@@ -16,16 +16,27 @@
 //! Reservation and trim byte counters are recorded on the shard they
 //! belong to; round bookkeeping lands on the runtime-wide counters.
 //!
-//! When the thread caches are enabled the round also runs **idle-cache
-//! reclaim**: after `tcache_idle_rounds` consecutive rounds with no
-//! allocation or free anywhere in the runtime, the manager requests a
-//! drain of every thread cache (epoch bump; each owner thread answers on
-//! its next allocator touch or at exit), so a service that goes quiet
-//! does not strand reserve in per-thread magazines and the §5.5
-//! reserved-unused metric converges back to the tracker targets.
+//! When the remote-free queue is enabled the round starts by **draining
+//! every shard's inbox** — the SpeedMalloc-style dedicated-core model:
+//! application threads push cross-shard frees lock-free and this thread
+//! retires them, so a pure producer/consumer service sees its memory
+//! recycled every `f` even if the owning shard never allocates again.
+//! `HERMES_MANAGER_CORE` (or `HermesConfig::manager_core`) pins the
+//! thread to a CPU so those drains and the reservation work stay off the
+//! application's cores.
+//!
+//! When the thread caches or the remote queue are enabled the round also
+//! runs **idle reclaim**: after `tcache_idle_rounds` consecutive rounds
+//! with no allocation or free anywhere in the runtime, the manager
+//! requests a drain of every thread cache (epoch bump; each owner thread
+//! answers on its next allocator touch or at exit — flushing its remote
+//! staging chains too), so a service that goes quiet does not strand
+//! reserve in per-thread magazines or half-built remote chains and the
+//! §5.5 reserved-unused metric converges back to the tracker targets.
 
 use super::stats::Counters;
-use super::{lock, tcache, Shard, Shared};
+use super::{lock, remote, tcache, Shard, Shared};
+use crate::platform::platform;
 use crate::policy::ReservationPlan;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::atomic::Ordering;
@@ -54,14 +65,46 @@ impl ManagerHandle {
     }
 }
 
+/// Finest drain cadence, as a fraction of the management interval: while
+/// cross-shard frees are flowing the manager retires them on this tick,
+/// so the backlog an application thread could ever meet on its own slow
+/// path stays a few chains deep — the drain work lands on this (pinnable)
+/// thread, not on the allocating cores.
+const DRAIN_TICKS_PER_ROUND: u32 = 16;
+
 fn manager_loop(shared: Arc<Shared>, stop_rx: Receiver<()>) {
+    if let Some(core) = shared.cfg.manager_core {
+        // Best effort: pinning is a perf hint, not a correctness need.
+        let _ = platform().pin_thread_to_cpu(core);
+    }
     let interval = shared.cfg.interval;
+    let fine = interval / DRAIN_TICKS_PER_ROUND;
+    // Adaptive cadence: a tick that drains something resets to `fine`;
+    // an empty tick backs off exponentially toward the full interval, so
+    // a heap with no cross-shard traffic pays no extra wakeups (which
+    // matters when the manager shares a core with the application).
+    let mut tick = interval;
+    let mut last_round = Instant::now();
     loop {
-        match stop_rx.recv_timeout(interval) {
+        match stop_rx.recv_timeout(tick) {
             Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
             Err(RecvTimeoutError::Timeout) => {}
         }
-        run_round(&shared);
+        if shared.cfg.remote_queue {
+            let mut drained = 0u64;
+            for i in 0..shared.shards.len() {
+                drained += remote::drain(&shared, i, usize::MAX);
+            }
+            tick = if drained > 0 {
+                fine
+            } else {
+                (tick * 2).min(interval)
+            };
+        }
+        if last_round.elapsed() >= interval {
+            run_round(&shared);
+            last_round = Instant::now();
+        }
     }
 }
 
@@ -70,11 +113,16 @@ fn manager_loop(shared: Arc<Shared>, stop_rx: Receiver<()>) {
 /// live thread.
 pub(crate) fn run_round(shared: &Shared) {
     let t0 = Instant::now();
-    for shard in shared.shards.iter() {
+    for (i, shard) in shared.shards.iter().enumerate() {
+        if shared.cfg.remote_queue {
+            // Retire queued remote frees before sizing the reserve, so
+            // the thresholds see the heap the application actually holds.
+            remote::drain(shared, i, usize::MAX);
+        }
         heap_round(shared, shard);
         large_round(shard);
     }
-    if shared.cfg.tcache {
+    if shared.cfg.tcache || shared.cfg.remote_queue {
         idle_cache_round(shared);
     }
     Counters::add(&shared.counters.manager_rounds, 1);

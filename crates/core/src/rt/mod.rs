@@ -54,6 +54,7 @@ pub mod global;
 pub mod heap;
 pub mod large;
 mod manager;
+mod remote;
 pub mod stats;
 pub mod tcache;
 
@@ -179,6 +180,9 @@ pub(crate) struct Shard {
     pub heap: Mutex<HeapState>,
     pub large: Mutex<LargeState>,
     pub counters: Counters,
+    /// Lock-free inbox of cross-shard frees destined for this shard
+    /// (heap path only; see [`remote`]).
+    pub remote: remote::RemoteInbox,
     /// NUMA node this shard's backings prefer (0 on single-node hosts).
     pub node: usize,
 }
@@ -217,6 +221,7 @@ impl Shard {
                 tracker: large_tracker,
             }),
             counters: Counters::new(),
+            remote: remote::RemoteInbox::new(),
             node,
         }
     }
@@ -267,6 +272,18 @@ impl Shared {
         let i = self.ranges.partition_point(|&(_, end, _, _)| end <= addr);
         let &(base, _, shard, is_large) = self.ranges.get(i)?;
         (addr >= base).then_some((shard, is_large))
+    }
+
+    /// Summed remote-inbox gauges — `(blocks, bytes)` staged or queued,
+    /// not yet drained — for one shard, or all of them.
+    fn remote_gauges(&self, shard: Option<usize>) -> (u64, u64) {
+        match shard {
+            Some(i) => self.shards[i].remote.gauges(),
+            None => self.shards.iter().fold((0, 0), |(blocks, bytes), s| {
+                let (b, by) = s.remote.gauges();
+                (blocks + b, bytes + by)
+            }),
+        }
     }
 
     /// The home shard for affinity `ticket` on the calling thread:
@@ -509,20 +526,27 @@ impl HermesHeap {
         total.alloc_count += t.alloc_ops;
         total.free_count += t.free_ops;
         total.fast_small += t.fast_ops;
+        let (rblocks, rbytes) = self.shared.remote_gauges(None);
+        total.remote_queued_blocks += rblocks;
+        total.remote_queued_bytes += rbytes;
         total
     }
 
     /// Merged main-heap statistics across all arenas.
     ///
-    /// `in_use` and `live` count memory held by *users*: blocks parked in
-    /// thread caches — in-use from a shard heap's view — are reported as
-    /// reserve instead (see [`HermesHeap::reserved_unused_bytes`]).
+    /// `in_use` and `live` count memory held by *users*: blocks parked
+    /// in thread caches — in-use from a shard heap's view — are reported
+    /// as reserve instead (see [`HermesHeap::reserved_unused_bytes`]),
+    /// and blocks staged or queued in remote-free inboxes are already
+    /// freed from the user's view and excluded the same way.
     pub fn heap_stats(&self) -> HeapStats {
         let mut total = HeapStats::default();
         for s in self.shared.shards.iter() {
             total.accumulate(&lock(&s.heap).raw.stats());
         }
         subtract_cached(&mut total, tcache::tallies(&self.shared, None));
+        let (rblocks, rbytes) = self.shared.remote_gauges(None);
+        subtract_in_transit(&mut total, rblocks, rbytes);
         total
     }
 
@@ -545,7 +569,11 @@ impl HermesHeap {
         let mut heap = lock(&s.heap).raw.stats();
         let t = tcache::tallies(&self.shared, Some(index));
         subtract_cached(&mut heap, t);
+        let (rblocks, rbytes) = self.shared.remote_gauges(Some(index));
+        subtract_in_transit(&mut heap, rblocks, rbytes);
         let mut counters = s.counters.snapshot();
+        counters.remote_queued_blocks += rblocks;
+        counters.remote_queued_bytes += rbytes;
         counters.cached_bytes += t.bytes;
         counters.cached_blocks += t.blocks;
         counters.tcache_hits += t.hits;
@@ -584,6 +612,19 @@ impl HermesHeap {
     /// of waiting for the manager's idle reclaim or thread exit.
     pub fn drain_thread_cache(&self) {
         tcache::drain_current_thread(&self.shared);
+    }
+
+    /// Drains every shard's remote-free inbox back into its heap,
+    /// flushing the calling thread's partial staging chains first so
+    /// they are included. Other threads' partial chains return when
+    /// those threads flush (batch boundary, epoch reclaim, or exit).
+    /// The manager does this every round; embedders quiescing for an
+    /// exact accounting checkpoint can force it here.
+    pub fn drain_remote_inboxes(&self) {
+        tcache::flush_remote_current_thread(&self.shared);
+        for i in 0..self.shared.shards.len() {
+            remote::drain(&self.shared, i, usize::MAX);
+        }
     }
 
     /// Walks every arena's heap verifying structural invariants.
@@ -722,14 +763,35 @@ impl HermesHeap {
 
     fn allocate_small(&self, home: usize, layout: Layout, size: usize) -> Option<NonNull<u8>> {
         let shards = &self.shared.shards;
+        let queue_on = self.shared.cfg.remote_queue;
+        if queue_on {
+            // Opportunistic inbox drain: this is already a slow path (the
+            // thread cache missed), so spend a bounded amount of it
+            // returning remotely freed blocks before carving new memory.
+            remote::drain(&self.shared, home, remote::OPPORTUNISTIC_CHAINS);
+        }
         let (idx, g) = self.lock_small(home);
         if let Some(p) = Self::small_attempt(&shards[idx], g, layout, size) {
             return Some(p);
         }
+        if queue_on {
+            // Before declaring the serving shard exhausted, pull back
+            // everything parked in its inbox and retry once.
+            if remote::drain(&self.shared, idx, usize::MAX) > 0 {
+                let shard = &shards[idx];
+                if let Some(p) = Self::small_attempt(shard, lock(&shard.heap), layout, size) {
+                    return Some(p);
+                }
+            }
+        }
         // The serving shard is exhausted: sweep the remaining shards so
         // the runtime only fails once *all* arenas are full.
         for k in 1..shards.len() {
-            let shard = &shards[(idx + k) % shards.len()];
+            let j = (idx + k) % shards.len();
+            if queue_on {
+                remote::drain(&self.shared, j, usize::MAX);
+            }
+            let shard = &shards[j];
             if let Some(p) = Self::small_attempt(shard, lock(&shard.heap), layout, size) {
                 return Some(p);
             }
@@ -774,7 +836,15 @@ impl HermesHeap {
             }
         };
         let shard = &self.shared.shards[idx];
-        if !is_large && self.shared.cfg.tcache && layout.align() <= heap::ALIGN {
+        if is_large {
+            Counters::add(&shard.counters.free_count, 1);
+            // SAFETY: pointer belongs to this shard's large arena per the
+            // range check and the caller's contract.
+            unsafe { lock(&shard.large).pool.free(ptr) };
+            return;
+        }
+        let cfg = &self.shared.cfg;
+        if cfg.tcache || cfg.remote_queue {
             // Classify by the *actual* chunk size from the boundary tag.
             // Reading it without the shard lock is sound: the size word of
             // a live chunk is written at allocation and untouched until
@@ -782,22 +852,35 @@ impl HermesHeap {
             // SAFETY: per the caller's contract `ptr` heads a live
             // heap-path allocation, so `ptr - 8` is its size|flags word.
             let chunk = unsafe { (ptr.as_ptr() as *const usize).sub(1).read() } & !1;
-            if let Some(cls) = tcache::chunk_class(chunk) {
-                if tcache::free(&self.shared, idx, cls, ptr.as_ptr() as usize) {
-                    return;
+            if cfg.tcache && layout.align() <= heap::ALIGN {
+                if let Some(cls) = tcache::chunk_class(chunk) {
+                    if tcache::free(&self.shared, idx, cls, ptr.as_ptr() as usize) {
+                        return;
+                    }
+                }
+            }
+            if cfg.remote_queue {
+                // Cross-shard (and cache-miss) frees stage into the lock-
+                // free inbox instead of taking the owner's lock. Over-
+                // aligned and over-sized blocks qualify too: any heap-path
+                // pointer heads a real boundary-tag chunk.
+                match tcache::remote_free(&self.shared, idx, chunk, addr) {
+                    tcache::RemoteFree::Queued => return,
+                    // The caller's own shard: the locked path below is the
+                    // cheap, uncontended-by-construction route.
+                    tcache::RemoteFree::Home => {}
+                    // No thread cache (TLS teardown, mid-registration):
+                    // fall back to the lock and record the fall.
+                    tcache::RemoteFree::Unavailable => {
+                        Counters::add(&shard.counters.remote_lock_falls, 1);
+                    }
                 }
             }
         }
-        // Bypass path: cross-thread frees, uncacheable sizes, cache off.
+        // Locked path: owner-local frees, queue off, or TLS teardown.
         Counters::add(&shard.counters.free_count, 1);
-        if is_large {
-            // SAFETY: pointer belongs to this shard's large arena per the
-            // range check and the caller's contract.
-            unsafe { lock(&shard.large).pool.free(ptr) }
-        } else {
-            // SAFETY: pointer belongs to this shard's main heap.
-            unsafe { lock(&shard.heap).raw.free(ptr) }
-        }
+        // SAFETY: pointer belongs to this shard's main heap.
+        unsafe { lock(&shard.heap).raw.free(ptr) }
     }
 }
 
@@ -814,6 +897,15 @@ fn per_shard_capacity(total: usize, n: usize) -> usize {
 fn subtract_cached(stats: &mut HeapStats, t: tcache::CacheTallies) {
     stats.in_use = stats.in_use.saturating_sub(t.bytes as usize);
     stats.live = stats.live.saturating_sub(t.blocks as usize);
+}
+
+/// Re-books remote-queued blocks (staged or inbox-resident, not yet
+/// drained) from "user-held" to "in transit" in a [`HeapStats`] view.
+/// Saturating for the same racing-snapshot reason as
+/// [`subtract_cached`].
+fn subtract_in_transit(stats: &mut HeapStats, blocks: u64, bytes: u64) {
+    stats.in_use = stats.in_use.saturating_sub(bytes as usize);
+    stats.live = stats.live.saturating_sub(blocks as usize);
 }
 
 impl Drop for HermesHeap {
@@ -1170,6 +1262,193 @@ mod tests {
         }
         h.drain_thread_cache();
         assert_eq!(h.cached_bytes(), 0);
+        assert_eq!(h.heap_stats().live, 0);
+        assert_eq!(h.heap_stats().in_use, 0);
+        h.check_integrity().unwrap();
+    }
+
+    /// A small config with the thread caches *and* the remote queue
+    /// pinned, immune to both environment defaults.
+    fn small_with_remote(tcache: bool, queue: bool) -> HermesHeapConfig {
+        HermesHeapConfig {
+            hermes: HermesConfig::default()
+                .with_tcache(tcache)
+                .with_remote_queue(queue),
+            ..HermesHeapConfig::small()
+        }
+    }
+
+    /// Allocates `count` blocks of `size` bytes on a worker thread whose
+    /// home shard differs from the caller's, returning the addresses and
+    /// the owning shard. Panics if no such worker appears in 8 tries
+    /// (ticket assignment is round-robin, so one always does).
+    fn alloc_on_foreign_home(
+        h: &Arc<HermesHeap>,
+        size: usize,
+        count: usize,
+    ) -> (Vec<usize>, usize) {
+        let my_home = h.home_arena();
+        for _ in 0..8 {
+            let hh = Arc::clone(h);
+            let got = std::thread::spawn(move || {
+                if hh.home_arena() == my_home {
+                    return None;
+                }
+                let addrs: Vec<usize> = (0..count)
+                    .map(|_| hh.allocate(layout(size)).unwrap().as_ptr() as usize)
+                    .collect();
+                Some(addrs)
+            })
+            .join()
+            .unwrap();
+            if let Some(addrs) = got {
+                let owner = h
+                    .arena_of(NonNull::new(addrs[0] as *mut u8).unwrap())
+                    .unwrap();
+                return (addrs, owner);
+            }
+        }
+        panic!("no worker landed on a foreign home shard");
+    }
+
+    #[test]
+    fn remote_free_queues_cross_thread_and_drains() {
+        let h =
+            Arc::new(HermesHeap::new(small_with_remote(false, true).with_arena_count(4)).unwrap());
+        let n = remote::REMOTE_BATCH + 4; // one pushed chain + a partial
+        let (addrs, owner) = alloc_on_foreign_home(&h, 256, n);
+        assert_ne!(owner, h.home_arena());
+        for &addr in &addrs {
+            // SAFETY: live, freed once, layout as allocated.
+            unsafe { h.deallocate(NonNull::new(addr as *mut u8).unwrap(), layout(256)) };
+        }
+        let c = h.counters();
+        assert_eq!(c.remote_frees, n as u64, "every free staged remotely");
+        assert_eq!(c.remote_lock_falls, 0, "no lock fallbacks");
+        assert_eq!(c.free_count, n as u64, "frees booked at stage time");
+        assert_eq!(c.remote_queued_blocks, n as u64, "staged + queued gauge");
+        assert!(c.remote_queued_bytes >= 256 * n as u64);
+        // Queued blocks are in transit, not user-held: the stats views
+        // balance without waiting for a drain.
+        assert_eq!(h.heap_stats().live, 0);
+        assert_eq!(h.heap_stats().in_use, 0);
+        assert_eq!(h.arena_stats(owner).heap.live, 0);
+        h.drain_remote_inboxes();
+        let c = h.counters();
+        assert_eq!(c.remote_drained, n as u64, "drain retired the chains");
+        assert_eq!(c.remote_queued_blocks, 0);
+        assert_eq!(c.remote_queued_bytes, 0);
+        assert_eq!(h.heap_stats().live, 0);
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn manager_round_drains_pushed_chains() {
+        let h =
+            Arc::new(HermesHeap::new(small_with_remote(false, true).with_arena_count(4)).unwrap());
+        // Exactly one full chain: the 16th free pushes it onto the inbox.
+        let n = remote::REMOTE_BATCH;
+        let (addrs, _) = alloc_on_foreign_home(&h, 512, n);
+        for &addr in &addrs {
+            // SAFETY: live, freed once, layout as allocated.
+            unsafe { h.deallocate(NonNull::new(addr as *mut u8).unwrap(), layout(512)) };
+        }
+        assert_eq!(h.counters().remote_queued_blocks, n as u64);
+        h.run_management_round();
+        let c = h.counters();
+        assert_eq!(c.remote_drained, n as u64, "manager drained the inbox");
+        assert_eq!(c.remote_queued_blocks, 0);
+        assert_eq!(h.heap_stats().live, 0);
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn remote_queue_knob_off_restores_locked_path() {
+        let h =
+            Arc::new(HermesHeap::new(small_with_remote(false, false).with_arena_count(4)).unwrap());
+        let (addrs, _) = alloc_on_foreign_home(&h, 256, 8);
+        for &addr in &addrs {
+            // SAFETY: live, freed once, layout as allocated.
+            unsafe { h.deallocate(NonNull::new(addr as *mut u8).unwrap(), layout(256)) };
+        }
+        let c = h.counters();
+        assert_eq!(c.remote_frees, 0, "queue off: no staging");
+        assert_eq!(c.remote_queued_blocks, 0);
+        assert_eq!(c.remote_drained, 0);
+        assert_eq!(c.free_count, 8);
+        // Locked frees return immediately: no drain needed to balance.
+        assert_eq!(h.heap_stats().live, 0);
+        h.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn exhausted_shards_recover_from_queued_remote_frees() {
+        let cfg = HermesHeapConfig {
+            heap_capacity: PAGE * 64 * 2,
+            large_capacity: PAGE * 64 * 2,
+            arenas: 2,
+            reserve_factor: 1,
+            hermes: HermesConfig::default()
+                .with_tcache(false)
+                .with_remote_queue(true),
+        };
+        let h = Arc::new(HermesHeap::new(cfg).unwrap());
+        let mut live: Vec<usize> = Vec::new();
+        while let Ok(p) = h.allocate(layout(PAGE * 2)) {
+            live.push(p.as_ptr() as usize);
+            assert!(live.len() <= 4096, "tiny config must exhaust");
+        }
+        // A worker frees every block foreign to *its* home shard: each
+        // stages remotely; full chains push, the tail flushes when the
+        // worker's cache drains at thread exit. The freed memory is now
+        // parked in inboxes — the heaps themselves are still full.
+        let freed: Vec<usize> = {
+            let hh = Arc::clone(&h);
+            let all = live.clone();
+            std::thread::spawn(move || {
+                let mine = hh.home_arena();
+                all.into_iter()
+                    .filter(|&addr| {
+                        let p = NonNull::new(addr as *mut u8).unwrap();
+                        if hh.arena_of(p) == Some(mine) {
+                            return false;
+                        }
+                        // SAFETY: live, freed once, layout as allocated.
+                        unsafe { hh.deallocate(p, layout(PAGE * 2)) };
+                        true
+                    })
+                    .collect()
+            })
+            .join()
+            .unwrap()
+        };
+        assert!(
+            freed.len() >= remote::REMOTE_BATCH,
+            "enough foreign blocks to fill a chain: {}",
+            freed.len()
+        );
+        assert_eq!(h.counters().remote_queued_blocks, freed.len() as u64);
+        // The allocation slow path drains the inboxes and recovers the
+        // space instead of failing.
+        let p = h
+            .allocate(layout(PAGE * 2))
+            .expect("drain rescues the allocation");
+        assert!(
+            h.counters().remote_drained > 0,
+            "recovery came from a drain"
+        );
+        // SAFETY: p live, freed once.
+        unsafe { h.deallocate(p, layout(PAGE * 2)) };
+        for addr in live {
+            if !freed.contains(&addr) {
+                // SAFETY: still live (the worker skipped it), freed once.
+                unsafe { h.deallocate(NonNull::new(addr as *mut u8).unwrap(), layout(PAGE * 2)) };
+            }
+        }
+        h.drain_remote_inboxes();
+        let c = h.counters();
+        assert_eq!(c.remote_queued_blocks, 0);
+        assert_eq!(c.remote_queued_bytes, 0);
         assert_eq!(h.heap_stats().live, 0);
         assert_eq!(h.heap_stats().in_use, 0);
         h.check_integrity().unwrap();

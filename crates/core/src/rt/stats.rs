@@ -51,6 +51,17 @@ pub struct Counters {
     /// Thread-cache flush events (batch returns on overflow, thread exit
     /// and idle reclaim).
     pub tcache_flushes: AtomicU64,
+    /// Cross-shard frees routed through this arena's lock-free remote
+    /// inbox (counted at stage time, when the freeing thread links the
+    /// block into its staging chain — not when the chain is drained).
+    pub remote_frees: AtomicU64,
+    /// Blocks this arena has drained out of its remote inbox and
+    /// returned to the heap (owner slow path + manager rounds).
+    pub remote_drained: AtomicU64,
+    /// Cross-shard frees that fell back to the locked path because the
+    /// freeing thread had no usable cache slot (TLS teardown in
+    /// progress). Zero in steady state — the stress tests assert it.
+    pub remote_lock_falls: AtomicU64,
 }
 
 /// A plain snapshot of [`Counters`].
@@ -84,6 +95,12 @@ pub struct CountersSnapshot {
     pub tcache_refills: u64,
     /// Thread-cache flush events.
     pub tcache_flushes: u64,
+    /// Cross-shard frees staged through the remote inbox.
+    pub remote_frees: u64,
+    /// Blocks drained from the remote inbox back into the heap.
+    pub remote_drained: u64,
+    /// Remote frees that fell back to the locked path.
+    pub remote_lock_falls: u64,
     /// Gauge: bytes currently parked in thread caches for this arena
     /// (chunk granularity). In-use from the shard heap's view, reserve
     /// from the runtime's view. Aggregated from the live caches at
@@ -91,6 +108,12 @@ pub struct CountersSnapshot {
     pub cached_bytes: u64,
     /// Gauge: blocks currently parked in thread caches for this arena.
     pub cached_blocks: u64,
+    /// Gauge: bytes sitting in this arena's remote-free inbox (staged or
+    /// queued, not yet drained). Like the cached gauges it is assembled
+    /// at snapshot time from the inbox atomics, not stored here.
+    pub remote_queued_bytes: u64,
+    /// Gauge: blocks sitting in this arena's remote-free inbox.
+    pub remote_queued_blocks: u64,
 }
 
 impl Counters {
@@ -122,10 +145,15 @@ impl Counters {
             tcache_hits: self.tcache_hits.load(Ordering::Relaxed),
             tcache_refills: self.tcache_refills.load(Ordering::Relaxed),
             tcache_flushes: self.tcache_flushes.load(Ordering::Relaxed),
-            // Gauges are magazine-resident; the runtime front end adds
-            // the live-cache tallies when it assembles a snapshot.
+            remote_frees: self.remote_frees.load(Ordering::Relaxed),
+            remote_drained: self.remote_drained.load(Ordering::Relaxed),
+            remote_lock_falls: self.remote_lock_falls.load(Ordering::Relaxed),
+            // Gauges are magazine- and inbox-resident; the runtime front
+            // end adds them when it assembles a snapshot.
             cached_bytes: 0,
             cached_blocks: 0,
+            remote_queued_bytes: 0,
+            remote_queued_blocks: 0,
         }
     }
 }
@@ -167,8 +195,13 @@ impl CountersSnapshot {
         self.tcache_hits += other.tcache_hits;
         self.tcache_refills += other.tcache_refills;
         self.tcache_flushes += other.tcache_flushes;
+        self.remote_frees += other.remote_frees;
+        self.remote_drained += other.remote_drained;
+        self.remote_lock_falls += other.remote_lock_falls;
         self.cached_bytes += other.cached_bytes;
         self.cached_blocks += other.cached_blocks;
+        self.remote_queued_bytes += other.remote_queued_bytes;
+        self.remote_queued_blocks += other.remote_queued_blocks;
     }
 
     /// Fraction of small allocations served without any page fault.

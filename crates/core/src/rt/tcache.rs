@@ -52,8 +52,22 @@
 //! by a *different* shard takes the existing lock-and-free bypass path,
 //! so boundary-tag coalescing stays shard-local and a magazine never
 //! mixes shards.
+//!
+//! # Remote staging (`cfg.remote_queue`)
+//!
+//! Cross-shard frees get their own owner-only state here: a per-shard
+//! [`RemoteStage`] that chains dead blocks (intrusively, through each
+//! block's first payload word) until [`REMOTE_BATCH`] accumulate, then
+//! pushes the whole chain onto the owning shard's lock-free inbox
+//! ([`super::remote`]) — one queue CAS, zero owner-lock acquisitions,
+//! per sixteen frees. Counters and inbox gauges are booked per free at
+//! stage time. The stages drain with the magazines (thread exit,
+//! explicit drain, epoch reclaim), so a parked thread cannot strand a
+//! partial chain; with the magazines disabled (`HERMES_TCACHE=0`) a
+//! cache still registers purely to host the stages.
 
 use super::heap::{RawHeap, ALIGN, HDR, MIN_CHUNK};
+use super::remote::{Chain, REMOTE_BATCH};
 use super::stats::Counters;
 use super::{lock, Shared};
 use std::cell::{Cell, RefCell, UnsafeCell};
@@ -160,6 +174,31 @@ impl Magazines {
     }
 }
 
+/// One thread's staging chain of cross-shard frees destined for one
+/// owner shard (owner-only, like [`Magazines`]). Blocks are linked
+/// through their first payload word, newest first.
+#[derive(Debug, Clone, Copy, Default)]
+struct RemoteStage {
+    /// Most recently staged block address; 0 when empty.
+    head: usize,
+    /// Blocks on the chain.
+    blocks: u32,
+    /// Summed chunk sizes of the chain's blocks.
+    bytes: u64,
+}
+
+/// Outcome of routing a free through the remote-staging layer.
+pub(crate) enum RemoteFree {
+    /// Staged (and possibly pushed); the free is complete.
+    Queued,
+    /// The block belongs to the caller's own home shard — the cheap
+    /// locked path is the right one, not the inbox.
+    Home,
+    /// No cache slot is usable (TLS teardown or mid-registration
+    /// re-entry); the caller must take the locked fallback.
+    Unavailable,
+}
+
 /// Aggregated cache accounting for one shard (or the whole runtime).
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct CacheTallies {
@@ -194,6 +233,11 @@ pub(crate) struct ThreadCache {
     seen_epoch: Cell<u64>,
     /// Owner-only block stacks.
     mags: UnsafeCell<Magazines>,
+    /// Owner-only remote-free staging chains, one per shard of the
+    /// owning runtime (indexed by owner-shard id; the `home` entry is
+    /// never used — same-shard frees go through the magazines or the
+    /// locked path).
+    remote: UnsafeCell<Box<[RemoteStage]>>,
     /// Gauge: blocks currently parked here (single writer: the owner).
     blocks: AtomicU64,
     /// Gauge: bytes currently parked here (chunk granularity).
@@ -214,9 +258,9 @@ pub(crate) struct ThreadCache {
     fast_ops: AtomicU64,
 }
 
-// SAFETY: `mags` and `seen_epoch` are only ever accessed by the owning
-// thread — every path to them goes through that thread's TLS entry
-// (`with_cache`, `drain_current_thread`, `CacheEntry::drop`); no
+// SAFETY: `mags`, `remote` and `seen_epoch` are only ever accessed by
+// the owning thread — every path to them goes through that thread's TLS
+// entry (`with_cache`, `drain_current_thread`, `CacheEntry::drop`); no
 // registry consumer touches them. Cross-thread access is limited to the
 // atomic tallies. That confinement is exactly what makes the handle
 // safe to hold in the registry (`Weak<ThreadCache>` requires Send +
@@ -252,6 +296,20 @@ impl ThreadCache {
     fn allocate(&self, shared: &Shared, cls: usize) -> Option<NonNull<u8>> {
         let shard = &shared.shards[self.home];
         // SAFETY: owner-only access per the module's ownership discipline.
+        // The borrow must end before the inbox drain below: a queue pop
+        // can free a segment through the global allocator and re-enter
+        // this cache.
+        let empty = unsafe { (*self.mags.get()).counts[cls] == 0 };
+        if empty && shared.cfg.remote_queue {
+            // A cold magazine is the recycling point: pull remotely freed
+            // blocks back into the heap's bins before the refill carves
+            // them — or, worse, carves fresh cold memory while the
+            // freed working set sits parked in the inbox. Bounded, so a
+            // single allocation never pays for a long backlog.
+            super::remote::drain(shared, self.home, super::remote::OPPORTUNISTIC_CHAINS);
+        }
+        // SAFETY: owner-only access; re-borrowed after the drain (which
+        // may have refilled this very magazine re-entrantly).
         let m = unsafe { &mut *self.mags.get() };
         let (addr, faulted) = if m.counts[cls] > 0 {
             let c = m.counts[cls] as usize - 1;
@@ -350,7 +408,77 @@ impl ThreadCache {
         Counters::add(&shard.counters.tcache_flushes, 1);
     }
 
-    /// Flushes every magazine (thread exit, epoch reclaim, explicit
+    /// Stages one cross-shard free for `owner`, pushing the chain onto
+    /// the owner's inbox when it reaches [`REMOTE_BATCH`]. Owner-thread
+    /// only; `addr` must head a live `chunk`-byte boundary-tag
+    /// allocation of shard `owner`'s heap, freed exactly once.
+    fn remote_push(&self, shared: &Shared, owner: usize, chunk: usize, addr: usize) {
+        let full = {
+            // SAFETY: owner-only access per the module's ownership
+            // discipline. The borrow must end before the inbox push
+            // below: pushing can allocate a queue segment through the
+            // global allocator, and that allocation can re-enter this
+            // method on the same cache.
+            let st = unsafe { &mut (*self.remote.get())[owner] };
+            // SAFETY: the block is dead from the user's view and its
+            // payload holds at least one word (MIN_CHUNK assert in
+            // heap.rs); the drain consumes the link before free_batch
+            // reuses the word.
+            unsafe { (addr as *mut usize).write(st.head) };
+            st.head = addr;
+            st.blocks += 1;
+            st.bytes += chunk as u64;
+            if st.blocks as usize >= REMOTE_BATCH {
+                let chain = Chain {
+                    head: st.head,
+                    blocks: st.blocks,
+                    bytes: st.bytes,
+                };
+                *st = RemoteStage::default();
+                Some(chain)
+            } else {
+                None
+            }
+        };
+        // Stage-time accounting: the free is observable (and the block
+        // re-booked from user-held to in-transit) the moment it is
+        // staged, so statistics never wait for a drain.
+        let shard = &shared.shards[owner];
+        Counters::add(&shard.counters.free_count, 1);
+        Counters::add(&shard.counters.remote_frees, 1);
+        shard.remote.stage_account(chunk);
+        if let Some(chain) = full {
+            shard.remote.push(chain);
+        }
+    }
+
+    /// Pushes every non-empty staging chain onto its owner's inbox
+    /// (partial chains included). Owner-thread only.
+    fn flush_remote(&self, shared: &Shared) {
+        for owner in 0..shared.shards.len() {
+            let taken = {
+                // SAFETY: owner-only access; borrow scoped away from the
+                // push, as in `remote_push`.
+                let st = unsafe { &mut (*self.remote.get())[owner] };
+                (st.blocks > 0).then(|| {
+                    let chain = Chain {
+                        head: st.head,
+                        blocks: st.blocks,
+                        bytes: st.bytes,
+                    };
+                    *st = RemoteStage::default();
+                    chain
+                })
+            };
+            if let Some(chain) = taken {
+                // Gauges were booked at stage time; nothing to adjust.
+                shared.shards[owner].remote.push(chain);
+            }
+        }
+    }
+
+    /// Flushes every magazine and staging chain (thread exit, epoch
+    /// reclaim, explicit
     /// [`HermesHeap::drain_thread_cache`](super::HermesHeap::drain_thread_cache)),
     /// and folds the warm-hit tally into the shard's durable counter.
     /// Owner-thread only.
@@ -363,6 +491,7 @@ impl ThreadCache {
                 self.flush(shared, m, cls, count);
             }
         }
+        self.flush_remote(shared);
         let counters = &shared.shards[self.home].counters;
         for (tally, durable) in [
             (&self.hits, &counters.tcache_hits),
@@ -429,9 +558,11 @@ thread_local! {
 /// the `RefCell` is held (only possible during registration).
 ///
 /// The warm path is one TLS lookup, a `try_borrow`, and a linear scan
-/// of (almost always) one entry; `f` runs under the borrow and must not
-/// touch this module's TLS — cache operations never allocate, so no
-/// nested call can occur while it runs.
+/// of (almost always) one entry; `f` runs under a *shared* borrow, so
+/// the one cache operation that can allocate — a remote-stage push
+/// growing its inbox queue by a segment — may re-enter here and simply
+/// nests another shared borrow (magazine/stage `&mut` borrows are
+/// scoped to end before any such allocation point).
 fn with_cache<R>(shared: &Arc<Shared>, f: impl Fn(&ThreadCache) -> R + Copy) -> Option<R> {
     let warm = CACHES.try_with(|caches| {
         let b = caches.try_borrow().ok()?;
@@ -459,6 +590,9 @@ fn register_and_run<R>(shared: &Arc<Shared>, f: impl FnOnce(&ThreadCache) -> R) 
             shared: Arc::downgrade(shared),
             seen_epoch: Cell::new(shared.reclaim_epoch.load(Ordering::Relaxed)),
             mags: UnsafeCell::new(Magazines::new()),
+            remote: UnsafeCell::new(
+                vec![RemoteStage::default(); shared.shards.len()].into_boxed_slice(),
+            ),
             blocks: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -510,6 +644,43 @@ pub(crate) fn free(shared: &Arc<Shared>, owner: usize, cls: usize, addr: usize) 
         true
     })
     .unwrap_or(false)
+}
+
+/// Remote-queue free of `addr` (a live `chunk`-byte heap-path block
+/// owned by shard `owner`): stages the block for the owner's inbox.
+/// Works with the magazines disabled too — any heap-path chunk size
+/// stages, not just cache classes. See [`RemoteFree`] for the outcomes
+/// that bounce the caller back to a locked path.
+pub(crate) fn remote_free(
+    shared: &Arc<Shared>,
+    owner: usize,
+    chunk: usize,
+    addr: usize,
+) -> RemoteFree {
+    with_cache(shared, |cache| {
+        if cache.home == owner {
+            RemoteFree::Home
+        } else {
+            cache.remote_push(shared, owner, chunk, addr);
+            RemoteFree::Queued
+        }
+    })
+    .unwrap_or(RemoteFree::Unavailable)
+}
+
+/// Flushes only the calling thread's remote staging chains for `shared`
+/// onto their owners' inboxes, if a cache exists (does not create one,
+/// does not touch the magazines). Used by
+/// [`HermesHeap::drain_remote_inboxes`](super::HermesHeap::drain_remote_inboxes)
+/// so a drain sees this thread's partial chains too.
+pub(crate) fn flush_remote_current_thread(shared: &Arc<Shared>) {
+    let _ = CACHES.try_with(|caches| {
+        if let Ok(b) = caches.try_borrow() {
+            if let Some(e) = b.iter().find(|e| e.heap_id == shared.id) {
+                e.cache.flush_remote(shared);
+            }
+        }
+    });
 }
 
 /// Drains the calling thread's cache for `shared`, if one exists (does

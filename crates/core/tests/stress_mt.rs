@@ -4,9 +4,11 @@
 //! thread for release), asserting no data corruption and that the merged
 //! statistics balance out — `in_use` returns to 0 once every thread has
 //! joined and every pointer is freed. Run once through the ring topology
-//! with the PR-3 lock path, and once as a producer/consumer pipeline with
-//! the thread caches enabled, where almost every consumer free crosses
-//! shards and must take the cache-bypass path.
+//! with the thread caches off, once as a producer/consumer pipeline with
+//! the caches enabled, and once as a *pure* producer/consumer pipeline —
+//! in all three, cross-shard frees ride the lock-free remote inboxes and
+//! the `remote_lock_falls` counter proves no free fell back to the
+//! owner's lock.
 
 use hermes_core::config::HermesConfig;
 use hermes_core::rt::{HermesHeap, HermesHeapConfig};
@@ -49,7 +51,9 @@ fn eight_threads_mixed_sizes_cross_thread_frees() {
             large_capacity: 256 << 20,
             arenas: 4,
             reserve_factor: 1,
-            hermes: HermesConfig::default().with_tcache(false),
+            hermes: HermesConfig::default()
+                .with_tcache(false)
+                .with_remote_queue(true),
         })
         .unwrap(),
     );
@@ -119,6 +123,7 @@ fn eight_threads_mixed_sizes_cross_thread_frees() {
         h.join().expect("no thread panicked");
     }
     heap.stop_manager();
+    heap.drain_remote_inboxes();
 
     // Merged stats balance: everything allocated was freed.
     let hs = heap.heap_stats();
@@ -133,6 +138,11 @@ fn eight_threads_mixed_sizes_cross_thread_frees() {
         c.free_count, c.alloc_count,
         "every alloc freed exactly once"
     );
+    // The small-path cross-shard frees all rode the inboxes: not one
+    // took the owning shard's lock from a foreign thread.
+    assert!(c.remote_frees > 0, "ring topology crossed shards");
+    assert_eq!(c.remote_lock_falls, 0, "no remote free fell to the lock");
+    assert_eq!(c.remote_queued_blocks, 0, "inboxes fully drained");
     // Per-arena breakdown sums to the merged view.
     let per_arena_allocs: u64 = (0..heap.arena_count())
         .map(|i| heap.arena_stats(i).counters.alloc_count)
@@ -159,7 +169,9 @@ fn producer_consumer_cross_thread_frees_with_caches() {
             large_capacity: 256 << 20,
             arenas: 4,
             reserve_factor: 1,
-            hermes: HermesConfig::default().with_tcache(true),
+            hermes: HermesConfig::default()
+                .with_tcache(true)
+                .with_remote_queue(true),
         })
         .unwrap(),
     );
@@ -222,6 +234,7 @@ fn producer_consumer_cross_thread_frees_with_caches() {
         h.join().expect("no thread panicked");
     }
     heap.stop_manager();
+    heap.drain_remote_inboxes();
 
     // Thread exit drained every magazine: no block is parked anywhere.
     let c = heap.counters();
@@ -230,12 +243,97 @@ fn producer_consumer_cross_thread_frees_with_caches() {
     assert_eq!(c.alloc_count, (PAIRS * PC_ROUNDS) as u64);
     assert_eq!(c.free_count, c.alloc_count, "every alloc freed once");
     assert!(c.tcache_refills > 0, "cache path exercised");
+    // Consumer frees crossed shards on the lock-free inboxes; the
+    // uncacheable trickle (above the cacheable payload bound) rode them
+    // too instead of falling back to the owner's lock.
+    assert!(c.remote_frees > 0, "cross-shard frees staged remotely");
+    assert_eq!(c.remote_lock_falls, 0, "no remote free fell to the lock");
+    assert_eq!(c.remote_queued_blocks, 0, "inboxes fully drained");
     let hs = heap.heap_stats();
     assert_eq!(hs.in_use, 0, "main-heap bytes leak: {hs:?}");
     assert_eq!(hs.live, 0, "main-heap chunks leak");
     let ls = heap.large_stats();
     assert_eq!(ls.live, 0, "large chunks leak");
     assert_eq!(ls.live_bytes, 0, "large bytes leak");
+    heap.check_integrity().expect("no structural corruption");
+}
+
+/// The tentpole's target workload, distilled: 4 producers do nothing but
+/// allocate and hand off, 4 consumers do nothing but verify and free —
+/// every single small free is a cross-shard free from a thread that never
+/// allocates. With the remote queue on, none of them may touch the owning
+/// shard's lock (`remote_lock_falls == 0`); the inboxes and the manager
+/// absorb the whole return flow.
+#[test]
+fn pure_producer_consumer_eight_threads_stays_lock_free() {
+    const PAIRS: usize = 4;
+    const PP_ROUNDS: usize = 600;
+    let heap = Arc::new(
+        HermesHeap::new(HermesHeapConfig {
+            heap_capacity: 128 << 20,
+            large_capacity: 256 << 20,
+            arenas: 4,
+            reserve_factor: 1,
+            hermes: HermesConfig::default()
+                .with_tcache(true)
+                .with_remote_queue(true),
+        })
+        .unwrap(),
+    );
+    heap.start_manager();
+
+    let mut handles = Vec::new();
+    for pair in 0..PAIRS {
+        let (tx, rx) = mpsc::channel::<Block>();
+        let producer = {
+            let heap = Arc::clone(&heap);
+            std::thread::spawn(move || {
+                for round in 0..PP_ROUNDS {
+                    let size = 17 + (round * 53 + pair * 241) % 2_000;
+                    let p = heap.allocate(layout(size, 16)).expect("capacity");
+                    let tag = ((pair as u8) ^ (round as u8)) | 1;
+                    // SAFETY: fresh allocation of `size` bytes.
+                    unsafe { std::ptr::write_bytes(p.as_ptr(), tag, size) };
+                    tx.send(Block {
+                        addr: p.as_ptr() as usize,
+                        size,
+                        align: 16,
+                        tag,
+                    })
+                    .expect("consumer alive");
+                }
+            })
+        };
+        let consumer = {
+            let heap = Arc::clone(&heap);
+            std::thread::spawn(move || {
+                while let Ok(b) = rx.recv() {
+                    free_verified(&heap, b);
+                }
+            })
+        };
+        handles.push(producer);
+        handles.push(consumer);
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+    heap.stop_manager();
+    heap.drain_remote_inboxes();
+
+    let c = heap.counters();
+    assert_eq!(c.alloc_count, (PAIRS * PP_ROUNDS) as u64);
+    assert_eq!(c.free_count, c.alloc_count, "every alloc freed once");
+    assert_eq!(c.remote_lock_falls, 0, "no remote free fell to the lock");
+    assert!(
+        c.remote_frees + c.tcache_hits > 0,
+        "frees crossed shards or hit a same-home magazine"
+    );
+    assert_eq!(c.remote_queued_blocks, 0, "inboxes fully drained");
+    assert_eq!(c.cached_blocks, 0, "magazines drained at thread exit");
+    let hs = heap.heap_stats();
+    assert_eq!(hs.in_use, 0, "main-heap bytes leak: {hs:?}");
+    assert_eq!(hs.live, 0, "main-heap chunks leak");
     heap.check_integrity().expect("no structural corruption");
 }
 

@@ -1,8 +1,11 @@
 //! Vendored, dependency-free subset of the `crossbeam` API.
 //!
-//! Only `crossbeam::channel`'s bounded MPSC shape is used in this
-//! workspace (a one-shot shutdown signal to the management thread), which
-//! `std::sync::mpsc`'s sync channel covers exactly.
+//! Two shapes from upstream `crossbeam` are used in this workspace:
+//! `channel`'s bounded MPSC (a one-shot shutdown signal to the management
+//! thread), which `std::sync::mpsc`'s sync channel covers exactly, and
+//! `queue::SegQueue` — the unbounded lock-free segmented queue backing
+//! the per-arena remote-free inboxes — reimplemented here with the same
+//! block/slot-state algorithm as `crossbeam-queue`.
 
 pub mod channel {
     //! Bounded channels with timeout-aware receive.
@@ -18,9 +21,300 @@ pub mod channel {
     }
 }
 
+pub mod queue {
+    //! An unbounded MPMC queue of linked fixed-size segments
+    //! (`crossbeam-queue`'s `SegQueue` algorithm).
+    //!
+    //! Producers and consumers each advance a global monotone index;
+    //! `index % LAP` addresses a slot within the current segment, and the
+    //! claimer of a segment's last usable slot installs the next segment.
+    //! Per-slot state bits decouple claiming from writing/reading, and a
+    //! READ/DESTROY handshake lets the popper that finishes a segment
+    //! last free it without ever blocking the other side — pushes are a
+    //! single CAS plus a store on the common path, which is what lets
+    //! allocator remote frees bypass the owning shard's lock entirely.
+
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::ptr;
+    use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
+
+    /// Indices per lap: `BLOCK_CAP` usable slots plus one skipped index
+    /// reserved for the next-segment installation handoff.
+    const LAP: usize = 32;
+    /// Usable slots per segment.
+    const BLOCK_CAP: usize = LAP - 1;
+
+    /// Slot state bits.
+    const WRITE: usize = 1;
+    const READ: usize = 2;
+    const DESTROY: usize = 4;
+
+    struct Slot<T> {
+        value: UnsafeCell<MaybeUninit<T>>,
+        state: AtomicUsize,
+    }
+
+    /// One segment: `BLOCK_CAP` slots and a link to the next segment.
+    struct Block<T> {
+        next: AtomicPtr<Block<T>>,
+        slots: [Slot<T>; BLOCK_CAP],
+    }
+
+    impl<T> Block<T> {
+        fn new() -> Box<Self> {
+            Box::new(Block {
+                next: AtomicPtr::new(ptr::null_mut()),
+                slots: std::array::from_fn(|_| Slot {
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                    state: AtomicUsize::new(0),
+                }),
+            })
+        }
+
+        /// Waits until the next segment is installed (the claimer of the
+        /// last slot installs it right after winning its index CAS).
+        fn wait_next(&self) -> *mut Block<T> {
+            loop {
+                let next = self.next.load(Ordering::Acquire);
+                if !next.is_null() {
+                    return next;
+                }
+                std::hint::spin_loop();
+            }
+        }
+
+        /// Marks slots `start..` for destruction; the block is freed here
+        /// unless a popper is still mid-read, in which case that popper
+        /// resumes the destruction when it finishes.
+        ///
+        /// # Safety
+        ///
+        /// `this` must be a fully consumed segment no new popper can
+        /// reach (the head has advanced past it).
+        unsafe fn destroy(this: *mut Block<T>, start: usize) {
+            // The last slot's reader is the caller of `destroy(this, 0)`,
+            // so it never needs the DESTROY mark.
+            for i in start..BLOCK_CAP - 1 {
+                // SAFETY: per the caller contract the block is still
+                // allocated; only state words are touched.
+                let slot = unsafe { &(*this).slots[i] };
+                if slot.state.load(Ordering::Acquire) & READ == 0
+                    && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
+                {
+                    // A popper still holds this slot; it sees DESTROY and
+                    // continues from `i + 1`.
+                    return;
+                }
+            }
+            // SAFETY: every slot is read and no popper can re-enter.
+            drop(unsafe { Box::from_raw(this) });
+        }
+    }
+
+    struct Position<T> {
+        index: AtomicUsize,
+        block: AtomicPtr<Block<T>>,
+    }
+
+    /// An unbounded lock-free queue of linked segments.
+    pub struct SegQueue<T> {
+        head: Position<T>,
+        tail: Position<T>,
+    }
+
+    // SAFETY: values move through the queue exactly once (claimed by a
+    // single index CAS on each side); segments are shared but every slot
+    // access is gated by its state word.
+    unsafe impl<T: Send> Send for SegQueue<T> {}
+    // SAFETY: as above.
+    unsafe impl<T: Send> Sync for SegQueue<T> {}
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue. The first segment is installed lazily
+        /// by the first push, so an idle queue costs two atomics.
+        pub const fn new() -> Self {
+            SegQueue {
+                head: Position {
+                    index: AtomicUsize::new(0),
+                    block: AtomicPtr::new(ptr::null_mut()),
+                },
+                tail: Position {
+                    index: AtomicUsize::new(0),
+                    block: AtomicPtr::new(ptr::null_mut()),
+                },
+            }
+        }
+
+        /// Pushes `value` onto the back of the queue.
+        pub fn push(&self, value: T) {
+            loop {
+                let tail = self.tail.index.load(Ordering::Acquire);
+                let block = self.tail.block.load(Ordering::Acquire);
+                let offset = tail % LAP;
+                if offset == BLOCK_CAP {
+                    // The claimer of the previous slot is installing the
+                    // next segment; its index bump ends this state.
+                    std::hint::spin_loop();
+                    continue;
+                }
+                if block.is_null() {
+                    // First push ever: install the initial segment.
+                    let new = Box::into_raw(Block::<T>::new());
+                    match self.tail.block.compare_exchange(
+                        ptr::null_mut(),
+                        new,
+                        Ordering::Release,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => self.head.block.store(new, Ordering::Release),
+                        // SAFETY: `new` lost the race and never escaped.
+                        Err(_) => drop(unsafe { Box::from_raw(new) }),
+                    }
+                    continue;
+                }
+                // Claim slot `offset`. Success proves the index did not
+                // move since the loads above, so `block` is still the
+                // segment that owns this offset's lap (indices are
+                // monotone: no ABA) — and the segment cannot be freed
+                // before our slot is written and read.
+                if self
+                    .tail
+                    .index
+                    .compare_exchange_weak(tail, tail + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+                // SAFETY: the claim above grants exclusive write access
+                // to this slot, and keeps the segment alive (its reader
+                // waits for our WRITE bit).
+                unsafe {
+                    if offset + 1 == BLOCK_CAP {
+                        // We claimed the last usable slot: install the
+                        // next segment, then skip the reserved index.
+                        let next = Box::into_raw(Block::<T>::new());
+                        (*block).next.store(next, Ordering::Release);
+                        self.tail.block.store(next, Ordering::Release);
+                        self.tail.index.fetch_add(1, Ordering::Release);
+                    }
+                    let slot = &(*block).slots[offset];
+                    slot.value.get().write(MaybeUninit::new(value));
+                    slot.state.fetch_or(WRITE, Ordering::Release);
+                }
+                return;
+            }
+        }
+
+        /// Pops the front value, or `None` when the queue is empty.
+        pub fn pop(&self) -> Option<T> {
+            loop {
+                let head = self.head.index.load(Ordering::Acquire);
+                let block = self.head.block.load(Ordering::Acquire);
+                let offset = head % LAP;
+                if offset == BLOCK_CAP {
+                    // A popper is advancing the head segment.
+                    std::hint::spin_loop();
+                    continue;
+                }
+                // Empty check before claiming: the indices are monotone
+                // and comparable, so head == tail means nothing pushed
+                // beyond what was popped.
+                fence(Ordering::SeqCst);
+                let tail = self.tail.index.load(Ordering::Acquire);
+                if head >= tail {
+                    return None;
+                }
+                if block.is_null() {
+                    // tail > head proves a push is installing the first
+                    // segment right now.
+                    std::hint::spin_loop();
+                    continue;
+                }
+                if self
+                    .head
+                    .index
+                    .compare_exchange_weak(head, head + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+                // SAFETY: the claim grants exclusive read access to this
+                // slot; the segment stays allocated until its READ/
+                // DESTROY handshake completes below.
+                unsafe {
+                    if offset + 1 == BLOCK_CAP {
+                        // Last usable slot: advance the head segment
+                        // (waiting for the producer-side install), then
+                        // skip the reserved index.
+                        let next = (*block).wait_next();
+                        self.head.block.store(next, Ordering::Release);
+                        self.head.index.fetch_add(1, Ordering::Release);
+                    }
+                    let slot = &(*block).slots[offset];
+                    while slot.state.load(Ordering::Acquire) & WRITE == 0 {
+                        // The producer claimed this slot but has not
+                        // finished its two stores yet.
+                        std::hint::spin_loop();
+                    }
+                    let value = slot.value.get().read().assume_init();
+                    if offset + 1 == BLOCK_CAP {
+                        // We consumed the segment's last slot and already
+                        // advanced the head past it: run the destruction
+                        // handshake over the whole segment.
+                        Block::destroy(block, 0);
+                    } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
+                        // The destroyer reached our slot mid-read; resume
+                        // its sweep from the next slot.
+                        Block::destroy(block, offset + 1);
+                    }
+                    return Some(value);
+                }
+            }
+        }
+
+        /// `true` when the queue holds no values (racy, like upstream).
+        pub fn is_empty(&self) -> bool {
+            let head = self.head.index.load(Ordering::SeqCst);
+            let tail = self.tail.index.load(Ordering::SeqCst);
+            head >= tail
+        }
+
+        /// Number of queued values (racy snapshot).
+        pub fn len(&self) -> usize {
+            let values = |i: usize| (i / LAP) * BLOCK_CAP + (i % LAP).min(BLOCK_CAP);
+            let tail = self.tail.index.load(Ordering::SeqCst);
+            let head = self.head.index.load(Ordering::SeqCst);
+            values(tail).saturating_sub(values(head))
+        }
+    }
+
+    impl<T> Drop for SegQueue<T> {
+        fn drop(&mut self) {
+            // Exclusive access: drain remaining values (running their
+            // drops), then free the final, partially consumed segment.
+            while self.pop().is_some() {}
+            let block = self.head.block.load(Ordering::Relaxed);
+            if !block.is_null() {
+                // SAFETY: after a full drain head and tail share this
+                // one segment, and no other handle exists (`&mut self`).
+                drop(unsafe { Box::from_raw(block) });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, RecvTimeoutError};
+    use super::queue::SegQueue;
+    use std::sync::Arc;
     use std::time::Duration;
 
     #[test]
@@ -37,5 +331,106 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(1)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn queue_fifo_within_one_segment() {
+        let q = SegQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_fifo_across_segments() {
+        // Well past one 31-slot segment, interleaving pushes and pops so
+        // segment installation and destruction both run repeatedly.
+        let q = SegQueue::new();
+        let mut next_pop = 0u32;
+        for i in 0..500u32 {
+            q.push(i);
+            if i % 3 == 0 {
+                assert_eq!(q.pop(), Some(next_pop));
+                next_pop += 1;
+            }
+        }
+        while let Some(v) = q.pop() {
+            assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        assert_eq!(next_pop, 500);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_drop_releases_leftovers() {
+        // Heap payloads left in the queue must be dropped with it; run
+        // under the leak checkers in CI this would flag a leak.
+        let q = SegQueue::new();
+        for i in 0..100usize {
+            q.push(Box::new(i));
+        }
+        assert_eq!(*q.pop().unwrap(), 0);
+        drop(q);
+
+        // And an empty, never-pushed queue drops cleanly too.
+        drop(SegQueue::<Box<usize>>::new());
+    }
+
+    #[test]
+    fn queue_mpmc_stress_conserves_values() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 2_000;
+
+        let q = Arc::new(SegQueue::new());
+        let popped = Arc::new(SegQueue::new());
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(Box::new(p * PER_PRODUCER + i));
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let popped = Arc::clone(&popped);
+                std::thread::spawn(move || {
+                    let mut got = 0usize;
+                    while got < PRODUCERS * PER_PRODUCER / CONSUMERS {
+                        if let Some(v) = q.pop() {
+                            popped.push(v);
+                            got += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in producers.into_iter().chain(consumers) {
+            t.join().unwrap();
+        }
+
+        assert!(q.is_empty());
+        let mut seen = vec![false; PRODUCERS * PER_PRODUCER];
+        while let Some(v) = popped.pop() {
+            assert!(!seen[*v], "value {} popped twice", *v);
+            seen[*v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values were lost");
     }
 }
