@@ -21,6 +21,7 @@
 //! threads × tcache median-ns/op summary that CI's `bench-smoke` job
 //! uploads on every PR, extending the performance trajectory.
 
+use hermes_bench::stats::{self, Ci};
 use hermes_bench::{full_scale, header, results_dir, write_bench_pr_section, Checks};
 use hermes_core::config::HermesConfig;
 use hermes_core::rt::{HermesHeap, HermesHeapConfig};
@@ -374,11 +375,17 @@ fn run_remote_cell(threads: usize, queue: bool) -> RemoteCell {
     }
 }
 
-fn find(cells: &[Cell], threads: usize, arenas: usize, tcache: bool) -> &Cell {
+fn find(cells: &[(Cell, Ci)], threads: usize, arenas: usize, tcache: bool) -> &Cell {
     cells
         .iter()
-        .find(|c| c.threads == threads && c.arenas == arenas && c.tcache == tcache)
+        .find(|(c, _)| c.threads == threads && c.arenas == arenas && c.tcache == tcache)
+        .map(|(c, _)| c)
         .expect("cell measured")
+}
+
+/// Median of integer nanosecond values via the stats layer.
+fn median_ns<I: Iterator<Item = u64>>(xs: I) -> u64 {
+    stats::median(&xs.map(|x| x as f64).collect::<Vec<_>>()).round() as u64
 }
 
 /// The two paired comparisons, tagged for the ratio ledger.
@@ -390,137 +397,116 @@ fn main() {
         "Contention",
         "allocation scaling: threads x {1, 4 arenas} x {tcache off, on}",
     );
-    // Paired design: at each thread count the configurations run in an
-    // A-B-C-C-B-A palindrome (A = 1 arena off, B = 4 arenas off, C = 4
-    // arenas on), so each compared pair samples adjacent host states —
-    // burstable machines intermittently grant extra CPU, and pairing with
-    // the geometric mean of the two orderings cancels that drift out of
-    // both comparisons. Each cell reports its median across repetitions;
-    // the shape checks compare the median of the per-repetition paired
-    // *ratios* (B/A for sharding, C/B for the caches).
-    let mut reps: Vec<Cell> = Vec::new();
+    // Paired design via `stats::run_palindrome`: at each thread count
+    // the configurations run in an A-B-C-C-B-A palindrome (A = 1 arena
+    // off, B = 4 arenas off, C = 4 arenas on), so each compared pair
+    // samples adjacent host states — burstable machines intermittently
+    // grant extra CPU, and the geometric mean of the two orderings
+    // cancels that drift out of both comparisons. Each cell reports its
+    // median across repetitions with a bootstrap CI; the shape checks
+    // compare the median of the per-repetition paired *ratios* (B/A for
+    // sharding, C/B for the caches).
+    const CONFIGS: [(usize, bool); 3] = [(1, false), (MULTI_ARENAS, false), (MULTI_ARENAS, true)];
+    let mut cells: Vec<(Cell, Ci)> = Vec::new();
     let mut ratios: Vec<(&str, usize, f64)> = Vec::new(); // (cmp, threads, ratio)
-    for _ in 0..REPS {
-        for &threads in &THREAD_COUNTS {
-            let s1 = run_cell(threads, 1, false);
-            let m1 = run_cell(threads, MULTI_ARENAS, false);
-            let c1 = run_cell(threads, MULTI_ARENAS, true);
-            let c2 = run_cell(threads, MULTI_ARENAS, true);
-            let m2 = run_cell(threads, MULTI_ARENAS, false);
-            let s2 = run_cell(threads, 1, false);
-            ratios.push((
-                CMP_SHARDING,
-                threads,
-                ((m1.mops / s1.mops) * (m2.mops / s2.mops)).sqrt(),
+    for &threads in &THREAD_COUNTS {
+        let mut runs: Vec<Vec<Cell>> = (0..CONFIGS.len()).map(|_| Vec::new()).collect();
+        let pal = stats::run_palindrome(CONFIGS.len(), REPS, |cfg, _rep, _pass| {
+            let (arenas, tcache) = CONFIGS[cfg];
+            let cell = run_cell(threads, arenas, tcache);
+            let mops = cell.mops;
+            runs[cfg].push(cell);
+            mops
+        });
+        ratios.extend(
+            pal.ratio_samples(1, 0)
+                .into_iter()
+                .map(|q| (CMP_SHARDING, threads, q)),
+        );
+        ratios.extend(
+            pal.ratio_samples(2, 1)
+                .into_iter()
+                .map(|q| (CMP_TCACHE, threads, q)),
+        );
+        for (cfg, &(arenas, tcache)) in CONFIGS.iter().enumerate() {
+            let (mops, ci) = stats::median_ci(&pal.samples(cfg));
+            cells.push((
+                Cell {
+                    threads,
+                    arenas,
+                    tcache,
+                    mops,
+                    p50_ns: median_ns(runs[cfg].iter().map(|c| c.p50_ns)),
+                    p99_ns: median_ns(runs[cfg].iter().map(|c| c.p99_ns)),
+                },
+                ci,
             ));
-            ratios.push((
-                CMP_TCACHE,
-                threads,
-                ((c1.mops / m1.mops) * (c2.mops / m2.mops)).sqrt(),
-            ));
-            reps.extend([s1, m1, c1, c2, m2, s2]);
         }
     }
-    let median = |mut v: Vec<u64>| -> u64 {
-        v.sort_unstable();
-        v[v.len() / 2]
-    };
-    let median_ratio = |cmp: &str, threads: usize| -> f64 {
-        let v: Vec<u64> = ratios
+    cells.sort_by_key(|(c, _)| (c.arenas, c.tcache, c.threads));
+    let ratio_samples = |cmp: &str, threads: Option<usize>| -> Vec<f64> {
+        ratios
             .iter()
-            .filter(|&&(c, t, _)| c == cmp && t == threads)
-            .map(|&(_, _, q)| (q * 1e4) as u64)
-            .collect();
-        median(v) as f64 / 1e4
+            .filter(|&&(c, t, _)| c == cmp && threads.map_or(t >= 4, |want| t == want))
+            .map(|&(_, _, q)| q)
+            .collect()
     };
-    let pooled_ratio = |cmp: &str| -> f64 {
-        let v: Vec<u64> = ratios
-            .iter()
-            .filter(|&&(c, t, _)| c == cmp && t >= 4)
-            .map(|&(_, _, q)| (q * 1e4) as u64)
-            .collect();
-        median(v) as f64 / 1e4
-    };
-    let mut cells: Vec<Cell> = Vec::new();
-    for &(arenas, tcache) in &[(1usize, false), (MULTI_ARENAS, false), (MULTI_ARENAS, true)] {
-        for &threads in &THREAD_COUNTS {
-            let of_cell: Vec<&Cell> = reps
-                .iter()
-                .filter(|c| c.threads == threads && c.arenas == arenas && c.tcache == tcache)
-                .collect();
-            cells.push(Cell {
-                threads,
-                arenas,
-                tcache,
-                // Median via integer (k)units so the closure stays shared.
-                mops: median(of_cell.iter().map(|c| (c.mops * 1e3) as u64).collect()) as f64 / 1e3,
-                p50_ns: median(of_cell.iter().map(|c| c.p50_ns).collect()),
-                p99_ns: median(of_cell.iter().map(|c| c.p99_ns).collect()),
-            });
-        }
-    }
-    cells.sort_by_key(|c| (c.arenas, c.tcache, c.threads));
+    let median_ratio =
+        |cmp: &str, threads: usize| stats::median(&ratio_samples(cmp, Some(threads)));
+    let pooled_ratio = |cmp: &str| stats::median_ci(&ratio_samples(cmp, None));
 
     // remote_free axis: producer/consumer pipeline, queue off vs on, in
     // an A-B-B-A palindrome per repetition for the same drift-cancelling
     // pairing as above (A = queue off, B = queue on).
-    let mut r_reps: Vec<RemoteCell> = Vec::new();
+    let mut r_cells: Vec<(RemoteCell, Ci)> = Vec::new();
     let mut r_ratios: Vec<(usize, f64)> = Vec::new(); // (threads, B/A)
-    for _ in 0..REPS {
-        for &threads in &THREAD_COUNTS {
-            let a1 = run_remote_cell(threads, false);
-            let b1 = run_remote_cell(threads, true);
-            let b2 = run_remote_cell(threads, true);
-            let a2 = run_remote_cell(threads, false);
-            r_ratios.push((threads, ((b1.mops / a1.mops) * (b2.mops / a2.mops)).sqrt()));
-            r_reps.extend([a1, b1, b2, a2]);
+    for &threads in &THREAD_COUNTS {
+        let mut runs: Vec<Vec<RemoteCell>> = (0..2).map(|_| Vec::new()).collect();
+        let pal = stats::run_palindrome(2, REPS, |cfg, _rep, _pass| {
+            let cell = run_remote_cell(threads, cfg == 1);
+            let mops = cell.mops;
+            runs[cfg].push(cell);
+            mops
+        });
+        r_ratios.extend(pal.ratio_samples(1, 0).into_iter().map(|q| (threads, q)));
+        for (cfg, &queue) in [false, true].iter().enumerate() {
+            let (mops, ci) = stats::median_ci(&pal.samples(cfg));
+            r_cells.push((
+                RemoteCell {
+                    threads,
+                    queue,
+                    mops,
+                    p50_ns: median_ns(runs[cfg].iter().map(|c| c.p50_ns)),
+                    p99_ns: median_ns(runs[cfg].iter().map(|c| c.p99_ns)),
+                },
+                ci,
+            ));
         }
     }
-    let r_median_ratio = |threads: usize| -> f64 {
-        let v: Vec<u64> = r_ratios
+    r_cells.sort_by_key(|(c, _)| (c.queue, c.threads));
+    let r_ratio_samples = |threads: Option<usize>| -> Vec<f64> {
+        r_ratios
             .iter()
-            .filter(|&&(t, _)| t == threads)
-            .map(|&(_, q)| (q * 1e4) as u64)
-            .collect();
-        median(v) as f64 / 1e4
+            .filter(|&&(t, _)| threads.map_or(t >= 4, |want| t == want))
+            .map(|&(_, q)| q)
+            .collect()
     };
-    let r_pooled_ratio = || -> f64 {
-        let v: Vec<u64> = r_ratios
-            .iter()
-            .filter(|&&(t, _)| t >= 4)
-            .map(|&(_, q)| (q * 1e4) as u64)
-            .collect();
-        median(v) as f64 / 1e4
-    };
-    let mut r_cells: Vec<RemoteCell> = Vec::new();
-    for &queue in &[false, true] {
-        for &threads in &THREAD_COUNTS {
-            let of_cell: Vec<&RemoteCell> = r_reps
-                .iter()
-                .filter(|c| c.threads == threads && c.queue == queue)
-                .collect();
-            r_cells.push(RemoteCell {
-                threads,
-                queue,
-                mops: median(of_cell.iter().map(|c| (c.mops * 1e3) as u64).collect()) as f64 / 1e3,
-                p50_ns: median(of_cell.iter().map(|c| c.p50_ns).collect()),
-                p99_ns: median(of_cell.iter().map(|c| c.p99_ns).collect()),
-            });
-        }
-    }
-    r_cells.sort_by_key(|c| (c.queue, c.threads));
+    let r_median_ratio = |threads: usize| stats::median(&r_ratio_samples(Some(threads)));
+    let r_pooled_ratio = || stats::median_ci(&r_ratio_samples(None));
 
     println!(
-        "\n{:>7} {:>7} {:>7} {:>10} {:>9} {:>9}",
-        "threads", "arenas", "tcache", "Mops/s", "p50(ns)", "p99(ns)"
+        "\n{:>7} {:>7} {:>7} {:>10} {:>21} {:>9} {:>9}",
+        "threads", "arenas", "tcache", "Mops/s", "95% CI", "p50(ns)", "p99(ns)"
     );
-    for c in &cells {
+    for (c, ci) in &cells {
         println!(
-            "{:>7} {:>7} {:>7} {:>10.2} {:>9} {:>9}",
+            "{:>7} {:>7} {:>7} {:>10.2} [{:>8.2}, {:>8.2}] {:>9} {:>9}",
             c.threads,
             c.arenas,
             if c.tcache { "on" } else { "off" },
             c.mops,
+            ci.lo,
+            ci.hi,
             c.p50_ns,
             c.p99_ns
         );
@@ -530,29 +516,33 @@ fn main() {
         "\nremote_free (producer/consumer, {MULTI_ARENAS} arenas, tcache on; free-side latency)"
     );
     println!(
-        "{:>7} {:>7} {:>10} {:>9} {:>9}",
-        "threads", "queue", "Mops/s", "p50(ns)", "p99(ns)"
+        "{:>7} {:>7} {:>10} {:>21} {:>9} {:>9}",
+        "threads", "queue", "Mops/s", "95% CI", "p50(ns)", "p99(ns)"
     );
-    for c in &r_cells {
+    for (c, ci) in &r_cells {
         println!(
-            "{:>7} {:>7} {:>10.2} {:>9} {:>9}",
+            "{:>7} {:>7} {:>10.2} [{:>8.2}, {:>8.2}] {:>9} {:>9}",
             c.threads,
             if c.queue { "on" } else { "off" },
             c.mops,
+            ci.lo,
+            ci.hi,
             c.p50_ns,
             c.p99_ns
         );
     }
 
     let csv = results_dir().join("contention.csv");
-    let mut out = String::from("threads,arenas,tcache,mops,p50_ns,p99_ns\n");
-    for c in &cells {
+    let mut out = String::from("threads,arenas,tcache,mops,mops_ci_lo,mops_ci_hi,p50_ns,p99_ns\n");
+    for (c, ci) in &cells {
         out.push_str(&format!(
-            "{},{},{},{:.3},{},{}\n",
+            "{},{},{},{:.3},{:.3},{:.3},{},{}\n",
             c.threads,
             c.arenas,
             u8::from(c.tcache),
             c.mops,
+            ci.lo,
+            ci.hi,
             c.p50_ns,
             c.p99_ns
         ));
@@ -565,13 +555,15 @@ fn main() {
     }
 
     let r_csv = results_dir().join("remote_free.csv");
-    let mut r_out = String::from("threads,queue,mops,p50_ns,p99_ns\n");
-    for c in &r_cells {
+    let mut r_out = String::from("threads,queue,mops,mops_ci_lo,mops_ci_hi,p50_ns,p99_ns\n");
+    for (c, ci) in &r_cells {
         r_out.push_str(&format!(
-            "{},{},{:.3},{},{}\n",
+            "{},{},{:.3},{:.3},{:.3},{},{}\n",
             c.threads,
             u8::from(c.queue),
             c.mops,
+            ci.lo,
+            ci.hi,
             c.p50_ns,
             c.p99_ns
         ));
@@ -580,11 +572,16 @@ fn main() {
         println!("csv: {}", r_csv.display());
     }
 
-    // The per-PR perf-trajectory summary CI uploads as an artifact:
-    // threads x tcache median ns/op at the multi-arena configuration,
-    // plus the headline paired speedups.
+    // The per-PR perf-trajectory summary CI uploads as an artifact and
+    // `bench_diff` gates on: threads x tcache cells at the multi-arena
+    // configuration plus the headline paired speedups, every gateable
+    // metric carrying its bootstrap CI.
     write_bench_pr_json(&cells, pooled_ratio(CMP_SHARDING), pooled_ratio(CMP_TCACHE));
-    write_remote_free_json(&r_cells, r_pooled_ratio(), r_median_ratio(8));
+    write_remote_free_json(
+        &r_cells,
+        r_pooled_ratio(),
+        stats::median_ci(&r_ratio_samples(Some(8))),
+    );
 
     let mut checks = Checks::new();
     // Headline sharding acceptance (PR-3): pooled over the contended
@@ -594,11 +591,14 @@ fn main() {
     // contended when its holder is preempted mid-critical-section, and
     // the per-point ratio degenerates to noise around 1.0 — the pooled
     // median is the statistically meaningful form of the claim there.
-    let pooled_q = pooled_ratio(CMP_SHARDING);
+    let (pooled_q, pooled_q_ci) = pooled_ratio(CMP_SHARDING);
     checks.check(
         &format!("4+ threads: {MULTI_ARENAS} arenas beat 1 arena"),
         "sharding wins under contention",
-        &format!("median paired speedup {pooled_q:.3}x"),
+        &format!(
+            "median paired speedup {pooled_q:.3}x (CI [{:.3}, {:.3}])",
+            pooled_q_ci.lo, pooled_q_ci.hi
+        ),
         pooled_q > 1.0,
     );
     let q4 = median_ratio(CMP_SHARDING, 4);
@@ -617,11 +617,14 @@ fn main() {
         &format!("median paired speedup {q8:.3}x"),
         q8 > 1.0,
     );
-    let pooled_t = pooled_ratio(CMP_TCACHE);
+    let (pooled_t, pooled_t_ci) = pooled_ratio(CMP_TCACHE);
     checks.check(
         "4+ threads pooled: tcache on beats off",
         "magazines bypass the shard locks",
-        &format!("median paired speedup {pooled_t:.3}x"),
+        &format!(
+            "median paired speedup {pooled_t:.3}x (CI [{:.3}, {:.3}])",
+            pooled_t_ci.lo, pooled_t_ci.hi
+        ),
         pooled_t > 1.0,
     );
     let s1 = find(&cells, 4, 1, false);
@@ -656,11 +659,14 @@ fn main() {
         &format!("median paired speedup {rq8:.3}x{rq_note}"),
         if parallel_host { rq8 > 1.0 } else { rq8 >= 0.7 },
     );
-    let rq_pooled = r_pooled_ratio();
+    let (rq_pooled, rq_pooled_ci) = r_pooled_ratio();
     checks.check(
         "4+ threads pooled: remote queue wins",
         "inboxes bypass the owner's lock",
-        &format!("median paired speedup {rq_pooled:.3}x{rq_note}"),
+        &format!(
+            "median paired speedup {rq_pooled:.3}x (CI [{:.3}, {:.3}]){rq_note}",
+            rq_pooled_ci.lo, rq_pooled_ci.hi
+        ),
         if parallel_host {
             rq_pooled > 1.0
         } else {
@@ -677,25 +683,38 @@ fn main() {
     checks.finish();
 }
 
+/// One entry of a `paired` array: a named paired speedup with its CI,
+/// gateable by `bench_diff` (direction: higher is better).
+fn paired_entry(cmp: &str, speedup: f64, ci: Ci) -> String {
+    format!(
+        "    {{\"cmp\": \"{cmp}\", \"speedup\": {speedup:.4}, \"ci_metric\": \"speedup\", \"ci_lo\": {:.4}, \"ci_hi\": {:.4}}}",
+        ci.lo, ci.hi
+    )
+}
+
 /// The `remote_free` section of `results/BENCH_PR.json`: one series
-/// entry per (threads, queue) cell plus the headline paired speedups.
-fn write_remote_free_json(cells: &[RemoteCell], pooled: f64, at8: f64) {
+/// entry per (threads, queue) cell plus the headline paired speedups,
+/// each with its bootstrap CI. Host metadata (cores — the paired
+/// speedups are parallelism claims — toolchain, kernel) is injected by
+/// [`write_bench_pr_section`].
+fn write_remote_free_json(cells: &[(RemoteCell, Ci)], pooled: (f64, Ci), at8: (f64, Ci)) {
     let mut series = String::new();
-    for (i, c) in cells.iter().enumerate() {
+    for (i, (c, ci)) in cells.iter().enumerate() {
         if i > 0 {
             series.push_str(",\n");
         }
         series.push_str(&format!(
-            "    {{\"threads\": {}, \"queue\": {}, \"mops\": {:.3}, \"free_p50_ns\": {}, \"free_p99_ns\": {}}}",
-            c.threads, c.queue, c.mops, c.p50_ns, c.p99_ns
+            "    {{\"threads\": {}, \"queue\": {}, \"mops\": {:.3}, \"ci_metric\": \"mops\", \"ci_lo\": {:.3}, \"ci_hi\": {:.3}, \"free_p50_ns\": {}, \"free_p99_ns\": {}}}",
+            c.threads, c.queue, c.mops, ci.lo, ci.hi, c.p50_ns, c.p99_ns
         ));
     }
-    // Record the host's parallelism: the paired speedups are a
-    // parallelism claim, meaningless to compare across hosts where the
-    // producer/consumer/manager trio cannot run concurrently.
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let paired = [
+        paired_entry("queue_4plus_threads", pooled.0, pooled.1),
+        paired_entry("queue_8_threads", at8.0, at8.1),
+    ]
+    .join(",\n");
     let json = format!(
-        "{{\n  \"arenas\": {MULTI_ARENAS},\n  \"reps\": {REPS},\n  \"ops_per_cell\": {},\n  \"host_cores\": {cores},\n  \"series\": [\n{series}\n  ],\n  \"paired_median_speedup\": {{\"queue_4plus_threads\": {pooled:.4}, \"queue_8_threads\": {at8:.4}}}\n}}\n",
+        "{{\n  \"arenas\": {MULTI_ARENAS},\n  \"reps\": {REPS},\n  \"ops_per_cell\": {},\n  \"series\": [\n{series}\n  ],\n  \"paired\": [\n{paired}\n  ]\n}}\n",
         remote_total_ops(),
     );
     write_bench_pr_section("remote_free", &json);
@@ -703,30 +722,38 @@ fn write_remote_free_json(cells: &[RemoteCell], pooled: f64, at8: f64) {
 
 /// Writes this bench's section of `results/BENCH_PR.json` by hand (no
 /// serde in the workspace): one series entry per (threads, tcache) cell
-/// at `MULTI_ARENAS` arenas. Other benches' sections are preserved by
-/// the fragment merge in [`write_bench_pr_section`].
-fn write_bench_pr_json(cells: &[Cell], sharding_speedup: f64, tcache_speedup: f64) {
+/// at `MULTI_ARENAS` arenas, with the cell's throughput bootstrap CI as
+/// its gateable metric. Other benches' sections are preserved by the
+/// fragment merge in [`write_bench_pr_section`].
+fn write_bench_pr_json(cells: &[(Cell, Ci)], sharding: (f64, Ci), tcache: (f64, Ci)) {
     let mut series = String::new();
-    for (i, c) in cells
+    for (i, (c, ci)) in cells
         .iter()
-        .filter(|c| c.arenas == MULTI_ARENAS)
+        .filter(|(c, _)| c.arenas == MULTI_ARENAS)
         .enumerate()
     {
         if i > 0 {
             series.push_str(",\n");
         }
         series.push_str(&format!(
-            "    {{\"threads\": {}, \"tcache\": {}, \"median_ns_per_op\": {:.1}, \"mops\": {:.3}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+            "    {{\"threads\": {}, \"tcache\": {}, \"median_ns_per_op\": {:.1}, \"mops\": {:.3}, \"ci_metric\": \"mops\", \"ci_lo\": {:.3}, \"ci_hi\": {:.3}, \"p50_ns\": {}, \"p99_ns\": {}}}",
             c.threads,
             c.tcache,
             1e3 / c.mops,
             c.mops,
+            ci.lo,
+            ci.hi,
             c.p50_ns,
             c.p99_ns
         ));
     }
+    let paired = [
+        paired_entry("sharding_4plus_threads", sharding.0, sharding.1),
+        paired_entry("tcache_4plus_threads", tcache.0, tcache.1),
+    ]
+    .join(",\n");
     let json = format!(
-        "{{\n  \"arenas\": {MULTI_ARENAS},\n  \"reps\": {REPS},\n  \"ops_per_cell\": {},\n  \"series\": [\n{series}\n  ],\n  \"paired_median_speedup\": {{\"sharding_4plus_threads\": {sharding_speedup:.4}, \"tcache_4plus_threads\": {tcache_speedup:.4}}}\n}}\n",
+        "{{\n  \"arenas\": {MULTI_ARENAS},\n  \"reps\": {REPS},\n  \"ops_per_cell\": {},\n  \"series\": [\n{series}\n  ],\n  \"paired\": [\n{paired}\n  ]\n}}\n",
         total_ops(),
     );
     write_bench_pr_section("contention", &json);

@@ -4,18 +4,29 @@
 //!
 //! `HERMES_BACKEND` picks the axis (`sim` default, `real` adds the
 //! wall-clock backends); `repro_all --backend {sim,real}` sets it. Real
-//! rows are the repo's first genuine p99/p99.9 service-latency numbers:
+//! rows are the repo's genuine p99/p99.9 service-latency numbers:
 //! `real:hermes` runs the actual arenas, thread caches and management
 //! thread; `real:system` is the `std::alloc` baseline. Sim and real
 //! rows are not comparable in absolute terms (model constants vs a
 //! shared CI host) — the claim checked here is per-domain: Hermes keeps
 //! the service's allocation tail no worse than its domain baseline.
+//!
+//! Methodology (`hermes_bench::stats`): per service the backends run in
+//! a palindrome for `REPS` repetitions with per-repetition seeds, so
+//! the reported p50/p99/p99.9 are medians across runs, every p99
+//! carries a bootstrap CI, and the Hermes-vs-baseline claims are
+//! drift-cancelled paired ratios rather than single-run differences.
 
 use hermes_allocators::{AllocatorKind, BackendKind};
+use hermes_bench::stats::{self, Ci};
 use hermes_bench::{header, queries_small, write_bench_pr_section, Checks};
 use hermes_services::ServiceKind;
 use hermes_sim::report::Table;
 use hermes_workloads::{run_service_latency, ServiceLatencyRun};
+
+/// Palindrome repetitions per service; each backend runs `2 * REPS`
+/// times (forward + reverse pass).
+const REPS: usize = 3;
 
 fn backends() -> Vec<BackendKind> {
     let mode = std::env::var("HERMES_BACKEND").unwrap_or_else(|_| "sim".into());
@@ -33,9 +44,31 @@ fn backends() -> Vec<BackendKind> {
     }
 }
 
+/// Aggregate of one (service, backend) cell across the paired runs.
 struct Row {
     service: ServiceKind,
-    run: ServiceLatencyRun,
+    backend: BackendKind,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    /// Bootstrap CI of the per-run p99 values.
+    p99_ci: Ci,
+    reserved_unused_bytes: usize,
+    committed_bytes: usize,
+    backing_reserved_bytes: usize,
+    decommitted_bytes: u64,
+}
+
+/// A named paired p99 speedup (baseline / treatment; > 1 means the
+/// treatment's tail is shorter).
+struct Paired {
+    cmp: String,
+    speedup: f64,
+    ci: Ci,
+}
+
+fn median_ns<I: Iterator<Item = u64>>(xs: I) -> u64 {
+    stats::median(&xs.map(|x| x as f64).collect::<Vec<_>>()).round() as u64
 }
 
 fn main() {
@@ -45,7 +78,7 @@ fn main() {
     );
     let backends = backends();
     println!(
-        "backend axis: {} (HERMES_BACKEND={})",
+        "backend axis: {} (HERMES_BACKEND={}); {REPS} paired repetitions",
         backends
             .iter()
             .map(|b| b.label())
@@ -54,11 +87,61 @@ fn main() {
         std::env::var("HERMES_BACKEND").unwrap_or_else(|_| "unset".into()),
     );
     let queries = (queries_small() / 4).max(500);
-    let mut rows = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut paired: Vec<Paired> = Vec::new();
     for service in ServiceKind::ALL {
-        for &backend in &backends {
-            let run = run_service_latency(backend, service, queries, 1024, 42);
-            rows.push(Row { service, run });
+        let mut runs: Vec<Vec<ServiceLatencyRun>> =
+            (0..backends.len()).map(|_| Vec::new()).collect();
+        let pal = stats::run_palindrome(backends.len(), REPS, |cfg, rep, pass| {
+            // Per-repetition seeds: run-to-run variation is the noise
+            // the CIs must capture (a fixed seed would collapse the sim
+            // rows to zero-width intervals around one draw).
+            let seed = 42 + 16 * rep as u64 + pass as u64;
+            let run = run_service_latency(backends[cfg], service, queries, 1024, seed);
+            let p99 = run.p99.as_nanos() as f64;
+            runs[cfg].push(run);
+            p99
+        });
+        for (cfg, backend) in backends.iter().enumerate() {
+            let (_, p99_ci) = stats::median_ci(&pal.samples(cfg));
+            let cell = &runs[cfg];
+            let last = cell.last().expect("ran");
+            rows.push(Row {
+                service,
+                backend: *backend,
+                p50_ns: median_ns(cell.iter().map(|r| r.p50.as_nanos())),
+                p99_ns: median_ns(cell.iter().map(|r| r.p99.as_nanos())),
+                p999_ns: median_ns(cell.iter().map(|r| r.p999.as_nanos())),
+                p99_ci,
+                reserved_unused_bytes: last.reserved_unused_bytes,
+                committed_bytes: last.committed_bytes,
+                backing_reserved_bytes: last.backing_reserved_bytes,
+                decommitted_bytes: last.decommitted_bytes,
+            });
+        }
+        // Paired tail claims: baseline p99 / Hermes p99, drift-cancelled.
+        let idx = |b: BackendKind| backends.iter().position(|&x| x == b);
+        let pairs = [
+            (
+                "sim_hermes_vs_glibc",
+                BackendKind::Sim(AllocatorKind::Glibc),
+                BackendKind::Sim(AllocatorKind::Hermes),
+            ),
+            (
+                "real_hermes_vs_system",
+                BackendKind::RealSystem,
+                BackendKind::RealHermes,
+            ),
+        ];
+        for (tag, base, ours) in pairs {
+            if let (Some(b), Some(o)) = (idx(base), idx(ours)) {
+                let (speedup, ci) = pal.ratio_ci(b, o);
+                paired.push(Paired {
+                    cmp: format!("{}_{tag}_p99", service.name()),
+                    speedup,
+                    ci,
+                });
+            }
         }
     }
 
@@ -67,6 +150,7 @@ fn main() {
         "backend",
         "p50(us)",
         "p99(us)",
+        "p99 CI",
         "p99.9(us)",
         "rsv(KB)",
         "cmt(MB)",
@@ -75,35 +159,39 @@ fn main() {
     for r in &rows {
         t.row_vec(vec![
             r.service.name().to_string(),
-            r.run.backend.label(),
-            format!("{:.1}", r.run.p50.as_nanos() as f64 / 1e3),
-            format!("{:.1}", r.run.p99.as_nanos() as f64 / 1e3),
-            format!("{:.1}", r.run.p999.as_nanos() as f64 / 1e3),
-            format!("{}", r.run.reserved_unused_bytes / 1024),
-            format!("{}", r.run.committed_bytes >> 20),
-            format!("{}", r.run.backing_reserved_bytes >> 20),
+            r.backend.label(),
+            format!("{:.1}", r.p50_ns as f64 / 1e3),
+            format!("{:.1}", r.p99_ns as f64 / 1e3),
+            format!("[{:.1}, {:.1}]", r.p99_ci.lo / 1e3, r.p99_ci.hi / 1e3),
+            format!("{:.1}", r.p999_ns as f64 / 1e3),
+            format!("{}", r.reserved_unused_bytes / 1024),
+            format!("{}", r.committed_bytes >> 20),
+            format!("{}", r.backing_reserved_bytes >> 20),
         ]);
     }
     print!("{}", t.render());
+    for p in &paired {
+        println!(
+            "paired {}: {:.3}x (CI [{:.3}, {:.3}])",
+            p.cmp, p.speedup, p.ci.lo, p.ci.hi
+        );
+    }
 
     let mut checks = Checks::new();
     let find = |rows: &[Row], s: ServiceKind, b: BackendKind| -> Option<(u64, usize)> {
         rows.iter()
-            .find(|r| r.service == s && r.run.backend == b)
-            .map(|r| (r.run.p99.as_nanos(), r.run.reserved_unused_bytes))
+            .find(|r| r.service == s && r.backend == b)
+            .map(|r| (r.p99_ns, r.reserved_unused_bytes))
     };
     // Mapped-backing sanity: real Hermes rows report the committed
     // gauge inside a strictly larger reservation (growth headroom).
     for r in &rows {
-        if r.run.backend == BackendKind::RealHermes {
+        if r.backend == BackendKind::RealHermes {
             checks.check(
                 &format!("{} real: committed within reservation", r.service),
                 "0 < committed <= reserved",
-                &format!(
-                    "{} of {} B",
-                    r.run.committed_bytes, r.run.backing_reserved_bytes
-                ),
-                r.run.committed_bytes > 0 && r.run.committed_bytes <= r.run.backing_reserved_bytes,
+                &format!("{} of {} B", r.committed_bytes, r.backing_reserved_bytes),
+                r.committed_bytes > 0 && r.committed_bytes <= r.backing_reserved_bytes,
             );
         }
     }
@@ -115,7 +203,7 @@ fn main() {
             checks.check(
                 &format!("{service} sim: Hermes p99 <= 1.2x Glibc"),
                 "paper: Hermes tail no worse dedicated",
-                &format!("{h} vs {g} ns"),
+                &format!("{h} vs {g} ns (medians over {} runs)", 2 * REPS),
                 h <= g + g / 5,
             );
             checks.check(
@@ -145,26 +233,42 @@ fn main() {
     }
     checks.finish();
 
-    // BENCH_PR.json rows: one entry per (service, backend).
+    // BENCH_PR.json rows: one entry per (service, backend), p99 gated by
+    // its bootstrap CI, plus the paired tail claims. Host metadata is
+    // injected by write_bench_pr_section.
     let mut series = String::new();
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
             series.push_str(",\n");
         }
         series.push_str(&format!(
-            "    {{\"service\": \"{}\", \"backend\": \"{}\", \"queries\": {queries}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"reserved_unused_bytes\": {}, \"committed_bytes\": {}, \"backing_reserved_bytes\": {}, \"decommitted_bytes\": {}}}",
+            "    {{\"service\": \"{}\", \"backend\": \"{}\", \"queries\": {queries}, \"p50_ns\": {}, \"p99_ns\": {}, \"ci_metric\": \"p99_ns\", \"ci_lo\": {:.0}, \"ci_hi\": {:.0}, \"p999_ns\": {}, \"reserved_unused_bytes\": {}, \"committed_bytes\": {}, \"backing_reserved_bytes\": {}, \"decommitted_bytes\": {}}}",
             r.service.name(),
-            r.run.backend.label(),
-            r.run.p50.as_nanos(),
-            r.run.p99.as_nanos(),
-            r.run.p999.as_nanos(),
-            r.run.reserved_unused_bytes,
-            r.run.committed_bytes,
-            r.run.backing_reserved_bytes,
-            r.run.decommitted_bytes,
+            r.backend.label(),
+            r.p50_ns,
+            r.p99_ns,
+            r.p99_ci.lo,
+            r.p99_ci.hi,
+            r.p999_ns,
+            r.reserved_unused_bytes,
+            r.committed_bytes,
+            r.backing_reserved_bytes,
+            r.decommitted_bytes,
         ));
     }
-    let json = format!("{{\n  \"record_bytes\": 1024,\n  \"series\": [\n{series}\n  ]\n}}\n");
+    let mut paired_json = String::new();
+    for (i, p) in paired.iter().enumerate() {
+        if i > 0 {
+            paired_json.push_str(",\n");
+        }
+        paired_json.push_str(&format!(
+            "    {{\"cmp\": \"{}\", \"speedup\": {:.4}, \"ci_metric\": \"speedup\", \"ci_lo\": {:.4}, \"ci_hi\": {:.4}}}",
+            p.cmp, p.speedup, p.ci.lo, p.ci.hi
+        ));
+    }
+    let json = format!(
+        "{{\n  \"record_bytes\": 1024,\n  \"reps\": {REPS},\n  \"series\": [\n{series}\n  ],\n  \"paired\": [\n{paired_json}\n  ]\n}}\n"
+    );
     write_bench_pr_section("service_backend", &json);
 
     if checks.failed() > 0 {

@@ -1,0 +1,97 @@
+//! `bench_diff <baseline.json> <candidate.json>` — the perf regression
+//! gate over two `BENCH_PR.json` trajectories.
+//!
+//! Prints a per-metric verdict table (improved / unchanged / REGRESSED /
+//! info) and exits nonzero **iff** some metric regressed beyond its
+//! bootstrap confidence interval. Sections whose host metadata or
+//! workload shape differ are skipped with a reason, never failed —
+//! comparisons are only ever like-for-like (see `hermes_bench::diff`).
+//!
+//! Flags:
+//!
+//! * `--md <path>` — append the report as markdown (for
+//!   `$GITHUB_STEP_SUMMARY`; appends so other steps' summaries survive).
+//! * `--allow-missing-baseline` — exit 0 with a notice when the
+//!   baseline file does not exist (first run on a branch with no cached
+//!   trajectory yet).
+//!
+//! Exit codes: 0 pass/skip, 1 regression, 2 usage or parse error.
+
+use hermes_bench::diff;
+use std::io::Write as _;
+
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: bench_diff [--md <path>] [--allow-missing-baseline] <baseline.json> <candidate.json>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut md_path: Option<String> = None;
+    let mut allow_missing = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--md" {
+            md_path = Some(args.next().unwrap_or_else(|| usage_exit()));
+        } else if let Some(p) = a.strip_prefix("--md=") {
+            md_path = Some(p.to_string());
+        } else if a == "--allow-missing-baseline" {
+            allow_missing = true;
+        } else if a.starts_with('-') {
+            usage_exit();
+        } else {
+            files.push(a);
+        }
+    }
+    let [baseline, candidate] = files.as_slice() else {
+        usage_exit();
+    };
+
+    if allow_missing && !std::path::Path::new(baseline).exists() {
+        let msg = format!("bench_diff: no baseline at {baseline}; gate skipped (first run)");
+        println!("{msg}");
+        if let Some(path) = md_path {
+            append_md(&path, &format!("## Bench regression gate\n\n{msg}\n"));
+        }
+        return;
+    }
+
+    let base = read_or_die(baseline);
+    let cand = read_or_die(candidate);
+    let report = match diff::diff_strs(&base, &cand) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: parse error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    print!("{}", report.render_text());
+    if let Some(path) = md_path {
+        append_md(&path, &report.render_markdown());
+    }
+    if report.has_regression() {
+        eprintln!("bench_diff: regression beyond CI — failing");
+        std::process::exit(1);
+    }
+}
+
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn append_md(path: &str, markdown: &str) {
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(markdown.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("bench_diff: cannot write {path}: {e}");
+    }
+}

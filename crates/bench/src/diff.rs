@@ -1,0 +1,473 @@
+//! The regression gate: compares two `BENCH_PR.json` files metric by
+//! metric and renders a verdict table.
+//!
+//! Comparison rules, in order:
+//!
+//! 1. **Comparability first.** A section is only compared when its host
+//!    metadata matches the baseline's (`host_cores` and `toolchain`
+//!    exactly — paired speedups are parallelism claims and codegen
+//!    shifts with the toolchain) and every non-array scalar describing
+//!    the workload (`ops_per_cell`, `record_bytes`, `reps`, ...) is
+//!    identical. A kernel difference is reported but does not block the
+//!    comparison. Incomparable sections are *skipped*, never failed:
+//!    the gate's job is catching regressions, not punishing
+//!    infrastructure churn.
+//! 2. **Entries match by identity.** Within each array of result
+//!    objects (`series`, `matrix`, `paired`) entries pair up by their
+//!    configuration keys (threads, backend, level, ...). Entries
+//!    present on only one side are noted, not failed.
+//! 3. **CIs gate, points inform.** An entry names its headline metric
+//!    in `ci_metric` and carries the bootstrap interval in
+//!    `ci_lo`/`ci_hi`. The verdict is `regressed` only when the two
+//!    intervals are disjoint in the bad direction *and* the point delta
+//!    exceeds [`MIN_EFFECT_PCT`] (guarding against zero-width intervals
+//!    from degenerate samples); `improved` mirrors it; anything else is
+//!    `unchanged`. Metrics without intervals are shown but never gate.
+//!
+//! [`Report::has_regression`] is the single bit CI keys off.
+
+use crate::json::{self, Value};
+use std::fmt::Write as _;
+
+/// Minimum point-estimate change (percent) for a disjoint-CI pair to
+/// count as improved/regressed. Repeated medians over small rep counts
+/// can produce zero-width intervals; a CI gap narrower than this is
+/// below the harness's honest resolution.
+pub const MIN_EFFECT_PCT: f64 = 2.0;
+
+/// Configuration keys that identify an entry within a section's array.
+const ID_KEYS: [&str; 11] = [
+    "cmp",
+    "threads",
+    "tcache",
+    "queue",
+    "arenas",
+    "service",
+    "backend",
+    "level",
+    "trace",
+    "record_bytes",
+    "queries",
+];
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (latencies, violation percentages).
+    LowerIsBetter,
+    /// Larger is better (throughputs, paired speedups).
+    HigherIsBetter,
+}
+
+/// Infers the gate direction from the metric's name; `None` means the
+/// metric is informational only.
+pub fn direction(metric: &str) -> Option<Direction> {
+    if metric.ends_with("_ns") || metric.ends_with("_us") || metric.ends_with("_pct") {
+        Some(Direction::LowerIsBetter)
+    } else if metric == "mops"
+        || metric == "qps"
+        || metric == "speedup"
+        || metric.ends_with("_mops")
+        || metric.ends_with("_ratio")
+    {
+        Some(Direction::HigherIsBetter)
+    } else {
+        None
+    }
+}
+
+/// Verdict for one compared metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Better beyond both CIs.
+    Improved,
+    /// Within noise.
+    Unchanged,
+    /// Worse beyond both CIs — the gate trips.
+    Regressed,
+    /// Compared without intervals (or without a known direction);
+    /// never gates.
+    Info,
+}
+
+impl Verdict {
+    /// Stable lower-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Improved => "improved",
+            Verdict::Unchanged => "unchanged",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Info => "info",
+        }
+    }
+}
+
+/// One row of the verdict table.
+#[derive(Debug, Clone)]
+pub struct MetricRow {
+    /// Section the row belongs to.
+    pub section: String,
+    /// Identity of the entry (`threads=4,tcache=true`).
+    pub entry: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline point value.
+    pub base: f64,
+    /// Candidate point value.
+    pub cand: f64,
+    /// Candidate interval, when present.
+    pub cand_ci: Option<(f64, f64)>,
+    /// Baseline interval, when present.
+    pub base_ci: Option<(f64, f64)>,
+    /// Percent change of the point estimate (sign follows the raw
+    /// values, not the direction policy).
+    pub delta_pct: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Why a section produced no metric rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Skip {
+    /// Section exists only in the baseline.
+    OnlyInBaseline,
+    /// Section exists only in the candidate.
+    OnlyInCandidate,
+    /// Host metadata differs (reason embedded).
+    HostMismatch(String),
+    /// Workload-shape scalars differ (reason embedded).
+    WorkloadMismatch(String),
+}
+
+impl Skip {
+    fn describe(&self) -> String {
+        match self {
+            Skip::OnlyInBaseline => "absent from candidate (baseline-only)".to_string(),
+            Skip::OnlyInCandidate => "new in candidate (no baseline)".to_string(),
+            Skip::HostMismatch(why) => format!("host mismatch: {why} — refusing to compare"),
+            Skip::WorkloadMismatch(why) => format!("workload mismatch: {why} — not comparable"),
+        }
+    }
+}
+
+/// The full comparison outcome.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Gateable comparisons, in writer order.
+    pub rows: Vec<MetricRow>,
+    /// Sections (or entries) that could not be compared, with reasons.
+    pub skipped: Vec<(String, Skip)>,
+    /// Non-blocking observations (kernel drift, unmatched entries).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// True iff some gateable metric regressed beyond its CI — the
+    /// condition under which `bench_diff` exits nonzero.
+    pub fn has_regression(&self) -> bool {
+        self.rows.iter().any(|r| r.verdict == Verdict::Regressed)
+    }
+
+    /// Counts per verdict: (improved, unchanged, regressed, info).
+    pub fn tally(&self) -> (usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0);
+        for r in &self.rows {
+            match r.verdict {
+                Verdict::Improved => t.0 += 1,
+                Verdict::Unchanged => t.1 += 1,
+                Verdict::Regressed => t.2 += 1,
+                Verdict::Info => t.3 += 1,
+            }
+        }
+        t
+    }
+
+    /// Plain-text verdict table for terminal output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from(
+            "section        entry                              metric                 baseline    candidate    delta  verdict\n",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<14} {:<34} {:<18} {:>12.3} {:>12.3} {:>+7.1}%  {}",
+                r.section,
+                r.entry,
+                r.metric,
+                r.base,
+                r.cand,
+                r.delta_pct,
+                r.verdict.label()
+            );
+        }
+        for (name, skip) in &self.skipped {
+            let _ = writeln!(out, "skipped: {name}: {}", skip.describe());
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        let (i, u, r, f) = self.tally();
+        let _ = writeln!(
+            out,
+            "verdict: {i} improved, {u} unchanged, {r} regressed, {f} informational"
+        );
+        out
+    }
+
+    /// GitHub-flavoured markdown for `$GITHUB_STEP_SUMMARY`.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from("## Bench regression gate\n\n");
+        let (i, u, r, f) = self.tally();
+        let _ = writeln!(
+            out,
+            "**{}** — {i} improved, {u} unchanged, {r} regressed, {f} informational\n",
+            if r > 0 { "❌ regression" } else { "✅ pass" }
+        );
+        if !self.rows.is_empty() {
+            out.push_str("| section | entry | metric | baseline | candidate | delta | verdict |\n");
+            out.push_str("|---|---|---|---:|---:|---:|---|\n");
+            for row in &self.rows {
+                let mark = match row.verdict {
+                    Verdict::Regressed => " ❌",
+                    Verdict::Improved => " ✅",
+                    _ => "",
+                };
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {:.3} | {:.3} | {:+.1}% | {}{mark} |",
+                    row.section,
+                    row.entry,
+                    row.metric,
+                    row.base,
+                    row.cand,
+                    row.delta_pct,
+                    row.verdict.label()
+                );
+            }
+            out.push('\n');
+        }
+        for (name, skip) in &self.skipped {
+            let _ = writeln!(out, "- skipped `{name}`: {}", skip.describe());
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "- note: {n}");
+        }
+        out
+    }
+}
+
+/// Compares two parsed `BENCH_PR.json` documents (baseline, candidate).
+pub fn diff_values(baseline: &Value, candidate: &Value) -> Report {
+    let mut report = Report::default();
+    let base_sections = baseline.as_obj().unwrap_or(&[]);
+    let cand_sections = candidate.as_obj().unwrap_or(&[]);
+    for (name, cand_sec) in cand_sections {
+        match base_sections.iter().find(|(k, _)| k == name) {
+            None => report.skipped.push((name.clone(), Skip::OnlyInCandidate)),
+            Some((_, base_sec)) => diff_section(name, base_sec, cand_sec, &mut report),
+        }
+    }
+    for (name, _) in base_sections {
+        if cand_sections.iter().all(|(k, _)| k != name) {
+            report.skipped.push((name.clone(), Skip::OnlyInBaseline));
+        }
+    }
+    report
+}
+
+/// Parses and compares two JSON documents.
+pub fn diff_strs(baseline: &str, candidate: &str) -> Result<Report, json::ParseError> {
+    Ok(diff_values(
+        &json::parse(baseline)?,
+        &json::parse(candidate)?,
+    ))
+}
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::Null => "null".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => format!("{n}"),
+        Value::Str(s) => s.clone(),
+        Value::Arr(_) => "[..]".into(),
+        Value::Obj(_) => "{..}".into(),
+    }
+}
+
+/// Checks host comparability; returns the blocking reason, if any.
+/// Kernel drift is demoted to a note: GitHub runners rev kernels
+/// routinely and blocking on it would near-permanently disable the gate.
+fn host_mismatch(name: &str, base: &Value, cand: &Value, report: &mut Report) -> Option<String> {
+    let (Some(bh), Some(ch)) = (base.get("host"), cand.get("host")) else {
+        // Legacy sections without metadata: comparable by fiat, noted.
+        report
+            .notes
+            .push(format!("{name}: host metadata missing on one side"));
+        return None;
+    };
+    for key in ["host_cores", "toolchain"] {
+        let (b, c) = (bh.get(key), ch.get(key));
+        if b != c {
+            return Some(format!(
+                "{key} {} vs {}",
+                b.map_or("absent".into(), fmt_value),
+                c.map_or("absent".into(), fmt_value),
+            ));
+        }
+    }
+    if bh.get("kernel") != ch.get("kernel") {
+        report.notes.push(format!(
+            "{name}: kernel differs ({} vs {}); comparing anyway",
+            bh.get("kernel").map_or("absent".into(), fmt_value),
+            ch.get("kernel").map_or("absent".into(), fmt_value),
+        ));
+    }
+    None
+}
+
+/// Checks that the two sections measured the same workload: every
+/// scalar member (numbers, strings, booleans — not nested containers,
+/// not host metadata) must match exactly.
+fn workload_mismatch(base: &Value, cand: &Value) -> Option<String> {
+    let scalar = |v: &Value| {
+        matches!(
+            v,
+            Value::Num(_) | Value::Str(_) | Value::Bool(_) | Value::Null
+        )
+    };
+    let empty: &[(String, Value)] = &[];
+    let (bm, cm) = (
+        base.as_obj().unwrap_or(empty),
+        cand.as_obj().unwrap_or(empty),
+    );
+    for (key, bv) in bm {
+        if key == "host" || !scalar(bv) {
+            continue;
+        }
+        match cand.get(key) {
+            None => return Some(format!("{key} dropped by candidate")),
+            Some(cv) if cv != bv => {
+                return Some(format!("{key} {} vs {}", fmt_value(bv), fmt_value(cv)))
+            }
+            _ => {}
+        }
+    }
+    for (key, cv) in cm {
+        if key != "host" && scalar(cv) && base.get(key).is_none() {
+            return Some(format!("{key} new in candidate"));
+        }
+    }
+    None
+}
+
+/// The identity string of one entry (`threads=4,tcache=true`), from the
+/// configuration keys it carries.
+fn entry_id(entry: &Value) -> String {
+    let mut parts = Vec::new();
+    for key in ID_KEYS {
+        if let Some(v) = entry.get(key) {
+            parts.push(format!("{key}={}", fmt_value(v)));
+        }
+    }
+    parts.join(",")
+}
+
+fn diff_section(name: &str, base: &Value, cand: &Value, report: &mut Report) {
+    if let Some(why) = host_mismatch(name, base, cand, report) {
+        report
+            .skipped
+            .push((name.to_string(), Skip::HostMismatch(why)));
+        return;
+    }
+    if let Some(why) = workload_mismatch(base, cand) {
+        report
+            .skipped
+            .push((name.to_string(), Skip::WorkloadMismatch(why)));
+        return;
+    }
+    let empty: &[(String, Value)] = &[];
+    for (key, cand_member) in cand.as_obj().unwrap_or(empty) {
+        let (Some(cand_arr), Some(base_arr)) =
+            (cand_member.as_arr(), base.get(key).and_then(Value::as_arr))
+        else {
+            continue;
+        };
+        for cand_entry in cand_arr {
+            let id = entry_id(cand_entry);
+            let Some(base_entry) = base_arr.iter().find(|b| entry_id(b) == id) else {
+                report
+                    .notes
+                    .push(format!("{name}/{key}: entry [{id}] is new in candidate"));
+                continue;
+            };
+            diff_entry(name, &id, base_entry, cand_entry, report);
+        }
+        for base_entry in base_arr {
+            let id = entry_id(base_entry);
+            if !cand_arr.iter().any(|c| entry_id(c) == id) {
+                report
+                    .notes
+                    .push(format!("{name}/{key}: entry [{id}] dropped by candidate"));
+            }
+        }
+    }
+}
+
+fn diff_entry(section: &str, id: &str, base: &Value, cand: &Value, report: &mut Report) {
+    let Some(metric) = cand.get("ci_metric").and_then(Value::as_str) else {
+        return; // entries without a declared headline metric don't gate
+    };
+    let (Some(bv), Some(cv)) = (
+        base.get(metric).and_then(Value::as_num),
+        cand.get(metric).and_then(Value::as_num),
+    ) else {
+        report.notes.push(format!(
+            "{section}: [{id}] declares ci_metric {metric} but lacks the value"
+        ));
+        return;
+    };
+    let delta_pct = if bv != 0.0 {
+        (cv - bv) / bv * 100.0
+    } else {
+        0.0
+    };
+    let base_ci = ci_of(base);
+    let cand_ci = ci_of(cand);
+    let verdict = match (direction(metric), base_ci, cand_ci) {
+        (Some(dir), Some((blo, bhi)), Some((clo, chi))) => {
+            let (worse_beyond, better_beyond) = match dir {
+                Direction::LowerIsBetter => (clo > bhi, chi < blo),
+                Direction::HigherIsBetter => (chi < blo, clo > bhi),
+            };
+            if worse_beyond && delta_pct.abs() >= MIN_EFFECT_PCT {
+                Verdict::Regressed
+            } else if better_beyond && delta_pct.abs() >= MIN_EFFECT_PCT {
+                Verdict::Improved
+            } else {
+                Verdict::Unchanged
+            }
+        }
+        _ => Verdict::Info,
+    };
+    report.rows.push(MetricRow {
+        section: section.to_string(),
+        entry: id.to_string(),
+        metric: metric.to_string(),
+        base: bv,
+        cand: cv,
+        base_ci,
+        cand_ci,
+        delta_pct,
+        verdict,
+    });
+}
+
+fn ci_of(entry: &Value) -> Option<(f64, f64)> {
+    match (
+        entry.get("ci_lo").and_then(Value::as_num),
+        entry.get("ci_hi").and_then(Value::as_num),
+    ) {
+        (Some(lo), Some(hi)) => Some((lo, hi)),
+        _ => None,
+    }
+}

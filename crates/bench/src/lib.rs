@@ -11,6 +11,10 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
+pub mod json;
+pub mod stats;
+
 use hermes_sim::stats::Summary;
 use std::path::PathBuf;
 
@@ -119,14 +123,19 @@ pub fn pct(x: f64) -> String {
 /// that bench's section only.
 ///
 /// `json_object` must be a valid JSON object literal (the workspace has
-/// no serde; writers format by hand as before).
+/// no serde; writers format by hand as before). Host metadata
+/// ([`stats::host_meta_json`]) is injected as the section's `"host"`
+/// member unless the writer supplied one, so every section records the
+/// cores/toolchain/kernel that produced it and `bench_diff` can refuse
+/// unlike-for-unlike comparisons.
 pub fn write_bench_pr_section(name: &str, json_object: &str) {
     let dir = results_dir().join("bench_pr");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
+    let with_host = inject_host(json_object);
     let frag = dir.join(format!("{name}.json"));
-    if std::fs::write(&frag, json_object).is_err() {
+    if std::fs::write(&frag, with_host).is_err() {
         eprintln!("warning: could not write {}", frag.display());
         return;
     }
@@ -159,6 +168,23 @@ pub fn write_bench_pr_section(name: &str, json_object: &str) {
     let path = results_dir().join("BENCH_PR.json");
     if std::fs::write(&path, merged).is_ok() {
         println!("json: {}", path.display());
+    }
+}
+
+/// Prepends the `"host"` member to a hand-built JSON object literal,
+/// unless one is already present.
+fn inject_host(json_object: &str) -> String {
+    if json_object.contains("\"host\"") {
+        return json_object.to_string();
+    }
+    match json_object.find('{') {
+        Some(open) => format!(
+            "{}{{\n  \"host\": {},{}",
+            &json_object[..open],
+            stats::host_meta_json(),
+            &json_object[open + 1..]
+        ),
+        None => json_object.to_string(),
     }
 }
 
@@ -196,6 +222,17 @@ mod tests {
     #[test]
     fn results_dir_is_formed() {
         assert!(results_dir().to_string_lossy().contains("results"));
+    }
+
+    #[test]
+    fn host_injection_is_idempotent_and_parses() {
+        let injected = inject_host("{\n  \"a\": 1\n}\n");
+        let v = crate::json::parse(&injected).expect("valid JSON after injection");
+        assert!(v.get("host").is_some());
+        assert_eq!(v.get("a").and_then(crate::json::Value::as_num), Some(1.0));
+        // A writer-supplied host object is left alone.
+        let supplied = "{\"host\": {\"host_cores\": 2}, \"a\": 1}";
+        assert_eq!(inject_host(supplied), supplied);
     }
 }
 

@@ -1,0 +1,190 @@
+//! Verdict logic of the regression gate: crafted baseline/candidate
+//! `BENCH_PR.json` pairs exercising every comparison rule.
+
+use hermes_bench::diff::{diff_strs, Skip, Verdict};
+
+/// One-section document with a single contention-style series entry.
+/// `host` and the entry's metric values are caller-controlled.
+fn doc(host: &str, p99: f64, lo: f64, hi: f64) -> String {
+    format!(
+        r#"{{
+  "svc": {{
+    "host": {host},
+    "record_bytes": 1024,
+    "series": [
+      {{"service": "Redis", "backend": "real:hermes", "p99_ns": {p99},
+        "ci_metric": "p99_ns", "ci_lo": {lo}, "ci_hi": {hi}}}
+    ]
+  }}
+}}"#
+    )
+}
+
+const HOST: &str = r#"{"host_cores": 4, "toolchain": "rustc 1.80.0", "kernel": "6.8.0"}"#;
+
+#[test]
+fn disjoint_worse_ci_regresses_and_trips_the_gate() {
+    // Latency up 20%, intervals disjoint: the one condition that fails CI.
+    let base = doc(HOST, 1000.0, 980.0, 1020.0);
+    let cand = doc(HOST, 1200.0, 1180.0, 1220.0);
+    let report = diff_strs(&base, &cand).unwrap();
+    assert_eq!(report.rows.len(), 1);
+    assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+    assert!(report.has_regression());
+    assert!(report.rows[0].delta_pct > 19.0 && report.rows[0].delta_pct < 21.0);
+}
+
+#[test]
+fn disjoint_better_ci_improves_without_tripping() {
+    let base = doc(HOST, 1200.0, 1180.0, 1220.0);
+    let cand = doc(HOST, 1000.0, 980.0, 1020.0);
+    let report = diff_strs(&base, &cand).unwrap();
+    assert_eq!(report.rows[0].verdict, Verdict::Improved);
+    assert!(!report.has_regression());
+}
+
+#[test]
+fn overlapping_cis_are_unchanged_noise() {
+    // 5% worse on the point, but the intervals overlap: noise, no gate.
+    let base = doc(HOST, 1000.0, 950.0, 1100.0);
+    let cand = doc(HOST, 1050.0, 990.0, 1150.0);
+    let report = diff_strs(&base, &cand).unwrap();
+    assert_eq!(report.rows[0].verdict, Verdict::Unchanged);
+    assert!(!report.has_regression());
+}
+
+#[test]
+fn tiny_disjoint_shift_is_below_the_effect_floor() {
+    // Zero-width intervals (degenerate reps) technically disjoint, but
+    // the point moved only 1% — below MIN_EFFECT_PCT, so unchanged.
+    let base = doc(HOST, 1000.0, 1000.0, 1000.0);
+    let cand = doc(HOST, 1010.0, 1010.0, 1010.0);
+    let report = diff_strs(&base, &cand).unwrap();
+    assert_eq!(report.rows[0].verdict, Verdict::Unchanged);
+    assert!(!report.has_regression());
+}
+
+#[test]
+fn higher_is_better_metrics_gate_in_the_other_direction() {
+    let paired = |speedup: f64, lo: f64, hi: f64| {
+        format!(
+            r#"{{"cnt": {{"host": {HOST}, "ops_per_cell": 50000,
+              "paired": [{{"cmp": "tcache_on_vs_off", "speedup": {speedup},
+                "ci_metric": "speedup", "ci_lo": {lo}, "ci_hi": {hi}}}]}}}}"#
+        )
+    };
+    // Speedup collapsing 1.8x -> 1.2x beyond CI is a regression...
+    let report = diff_strs(&paired(1.8, 1.7, 1.9), &paired(1.2, 1.1, 1.3)).unwrap();
+    assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+    // ...and rising is an improvement.
+    let report = diff_strs(&paired(1.2, 1.1, 1.3), &paired(1.8, 1.7, 1.9)).unwrap();
+    assert_eq!(report.rows[0].verdict, Verdict::Improved);
+    assert!(!report.has_regression());
+}
+
+#[test]
+fn missing_sections_are_noted_not_failed() {
+    let base = format!(r#"{{"old_only": {{"host": {HOST}, "series": []}}}}"#);
+    let cand = format!(r#"{{"new_only": {{"host": {HOST}, "series": []}}}}"#);
+    let report = diff_strs(&base, &cand).unwrap();
+    assert!(!report.has_regression());
+    assert!(report
+        .skipped
+        .iter()
+        .any(|(n, s)| n == "old_only" && *s == Skip::OnlyInBaseline));
+    assert!(report
+        .skipped
+        .iter()
+        .any(|(n, s)| n == "new_only" && *s == Skip::OnlyInCandidate));
+}
+
+#[test]
+fn host_mismatch_refuses_to_compare() {
+    let other = r#"{"host_cores": 16, "toolchain": "rustc 1.80.0", "kernel": "6.8.0"}"#;
+    // A huge regression on paper — but measured on a different host, so
+    // the section must be skipped, not gated.
+    let base = doc(HOST, 1000.0, 990.0, 1010.0);
+    let cand = doc(other, 9000.0, 8990.0, 9010.0);
+    let report = diff_strs(&base, &cand).unwrap();
+    assert!(report.rows.is_empty());
+    assert!(!report.has_regression());
+    assert!(matches!(report.skipped[0].1, Skip::HostMismatch(_)));
+
+    // Toolchain drift refuses too.
+    let tc = r#"{"host_cores": 4, "toolchain": "rustc 1.81.0", "kernel": "6.8.0"}"#;
+    let report = diff_strs(&doc(HOST, 1.0, 1.0, 1.0), &doc(tc, 1.0, 1.0, 1.0)).unwrap();
+    assert!(matches!(report.skipped[0].1, Skip::HostMismatch(_)));
+}
+
+#[test]
+fn kernel_drift_is_a_note_not_a_refusal() {
+    let k = r#"{"host_cores": 4, "toolchain": "rustc 1.80.0", "kernel": "6.9.1"}"#;
+    let report = diff_strs(
+        &doc(HOST, 1000.0, 990.0, 1010.0),
+        &doc(k, 1000.0, 990.0, 1010.0),
+    )
+    .unwrap();
+    assert_eq!(report.rows.len(), 1, "still compared");
+    assert!(report.notes.iter().any(|n| n.contains("kernel")));
+}
+
+#[test]
+fn workload_shape_change_refuses_to_compare() {
+    // Same host, but the candidate measured 4 KB records instead of
+    // 1 KB: latencies from different workloads must not be gated.
+    let base = doc(HOST, 1000.0, 990.0, 1010.0);
+    let cand = doc(HOST, 2000.0, 1990.0, 2010.0)
+        .replace("\"record_bytes\": 1024", "\"record_bytes\": 4096");
+    let report = diff_strs(&base, &cand).unwrap();
+    assert!(report.rows.is_empty());
+    assert!(matches!(report.skipped[0].1, Skip::WorkloadMismatch(_)));
+    assert!(!report.has_regression());
+}
+
+#[test]
+fn unmatched_entries_within_a_section_are_notes() {
+    let base = doc(HOST, 1000.0, 990.0, 1010.0);
+    // Candidate renames the backend: old entry dropped, new entry added.
+    let cand = doc(HOST, 1000.0, 990.0, 1010.0).replace("real:hermes", "real:system");
+    let report = diff_strs(&base, &cand).unwrap();
+    assert!(report.rows.is_empty());
+    assert!(!report.has_regression());
+    assert!(report.notes.iter().any(|n| n.contains("new in candidate")));
+    assert!(report
+        .notes
+        .iter()
+        .any(|n| n.contains("dropped by candidate")));
+}
+
+#[test]
+fn renders_text_and_markdown_with_verdicts() {
+    let base = doc(HOST, 1000.0, 980.0, 1020.0);
+    let cand = doc(HOST, 1200.0, 1180.0, 1220.0);
+    let report = diff_strs(&base, &cand).unwrap();
+    let text = report.render_text();
+    assert!(text.contains("REGRESSED"));
+    assert!(text.contains("1 regressed"));
+    let md = report.render_markdown();
+    assert!(md.contains("## Bench regression gate"));
+    assert!(md.contains("❌ regression"));
+    assert!(
+        md.contains("| svc |"),
+        "markdown table has the section column: {md}"
+    );
+}
+
+#[test]
+fn legacy_sections_without_host_metadata_still_compare() {
+    // Pre-gate baselines carry no host object; they compare by fiat
+    // with a note so the trajectory is not orphaned by the upgrade.
+    let legacy = r#"{"svc": {"record_bytes": 1024, "series": [
+        {"service": "Redis", "backend": "real:hermes", "p99_ns": 1000,
+         "ci_metric": "p99_ns", "ci_lo": 990, "ci_hi": 1010}]}}"#;
+    let cand = doc(HOST, 1000.0, 990.0, 1010.0);
+    let report = diff_strs(legacy, &cand).unwrap();
+    assert_eq!(report.rows.len(), 1);
+    assert!(report
+        .notes
+        .iter()
+        .any(|n| n.contains("host metadata missing")));
+}

@@ -1,12 +1,26 @@
 //! Vendored, dependency-free subset of the `criterion` benchmarking API.
 //!
 //! Offers the `criterion_group!` / `criterion_main!` macros, benchmark
-//! groups and `Bencher::iter` / `iter_batched`. Measurement is a simple
-//! warm-up plus timed samples printed as mean ns/iter — adequate for the
-//! workspace's wall-clock comparisons, without upstream's statistics or
-//! report generation.
+//! groups and `Bencher::iter` / `iter_batched`. Measurement follows
+//! upstream's shape on a small budget: geometric calibration (doubling
+//! iteration counts until a timing run clears a floor, so a quantized
+//! microsecond-scale first call cannot pick a wildly wrong
+//! `iters_per_sample`), a full retained per-sample vector, and a report
+//! of median ns/iter with a seeded percentile-bootstrap confidence
+//! interval — no report generation or plotting.
 
 use std::time::{Duration, Instant};
+
+/// Calibration floor: iteration counts double until one timing run takes
+/// at least this long, mirroring upstream's warm-up. Well above timer
+/// quantization, small next to the measurement budget.
+const CALIBRATION_FLOOR: Duration = Duration::from_millis(5);
+
+/// Resamples for the reported bootstrap interval.
+const BOOTSTRAP_RESAMPLES: usize = 500;
+
+/// Fixed resampling seed: identical samples re-report identical CIs.
+const BOOTSTRAP_SEED: u64 = 0xC51_B007;
 
 /// How batched setup output is sized (accepted for API compatibility;
 /// the stub always runs per-iteration batches).
@@ -110,25 +124,75 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Duration,
         iters: 1,
         elapsed: Duration::ZERO,
     };
-    // Warm-up & calibration: find an iteration count that runs long
-    // enough to time accurately, then split the budget into samples.
-    f(&mut b);
+    // Geometric calibration (upstream's warm-up shape): double the
+    // iteration count until one timing run clears the floor. A single
+    // iters=1 probe quantizes `per_iter` badly for sub-microsecond
+    // routines — a 41 ns op observed through a 1 µs timer grain picks an
+    // iteration count ~25x off.
+    let mut iters: u64 = 1;
+    loop {
+        b.iters = iters;
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        if b.elapsed >= CALIBRATION_FLOOR || iters >= u64::MAX / 2 {
+            break;
+        }
+        iters *= 2;
+    }
     let per_iter = (b.elapsed.as_nanos().max(1) / b.iters.max(1) as u128).max(1);
     let budget_iters = (budget.as_nanos() / per_iter).max(1);
     let iters_per_sample =
         (budget_iters / samples.max(1) as u128).clamp(1, u64::MAX as u128) as u64;
 
-    let mut means = Vec::with_capacity(samples);
+    // The full per-sample vector is retained: the median and its
+    // bootstrap interval are computed from it, not from running moments.
+    let mut sample_ns = Vec::with_capacity(samples);
     for _ in 0..samples {
         b.iters = iters_per_sample;
         b.elapsed = Duration::ZERO;
         f(&mut b);
-        means.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        sample_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
     }
-    means.sort_by(|a, x| a.partial_cmp(x).unwrap());
-    let median = means[means.len() / 2];
-    let mean = means.iter().sum::<f64>() / means.len() as f64;
-    println!("{id}: mean {mean:.1} ns/iter, median {median:.1} ns/iter ({samples} samples x {iters_per_sample} iters)");
+    let mean = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+    sample_ns.sort_by(|a, x| a.partial_cmp(x).unwrap());
+    let median = sample_ns[sample_ns.len() / 2];
+    let (lo, hi) = bootstrap_median_ci(&sample_ns, BOOTSTRAP_RESAMPLES, BOOTSTRAP_SEED);
+    println!(
+        "{id}: median {median:.1} ns/iter (95% CI [{lo:.1}, {hi:.1}]), mean {mean:.1} ({samples} samples x {iters_per_sample} iters)"
+    );
+}
+
+/// Percentile-bootstrap 95 % interval for the median of `sorted`
+/// (already-sorted samples), resampling with a splitmix64 stream so the
+/// report is deterministic for a given sample vector.
+fn bootstrap_median_ci(sorted: &[f64], resamples: usize, seed: u64) -> (f64, f64) {
+    if sorted.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    if sorted.len() == 1 {
+        return (sorted[0], sorted[0]);
+    }
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut medians = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0f64; sorted.len()];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            let idx = ((next() as u128 * sorted.len() as u128) >> 64) as usize;
+            *slot = sorted[idx];
+        }
+        resample.sort_by(|a, x| a.partial_cmp(x).unwrap());
+        medians.push(resample[resample.len() / 2]);
+    }
+    medians.sort_by(|a, x| a.partial_cmp(x).unwrap());
+    let pick = |q: f64| medians[((medians.len() as f64 * q) as usize).min(medians.len() - 1)];
+    (pick(0.025), pick(0.975))
 }
 
 /// Passed to the closure given to `bench_function`; runs the routine the
@@ -186,4 +250,38 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_ci_brackets_the_median() {
+        let sorted: Vec<f64> = (1..=101).map(f64::from).collect();
+        let (lo, hi) = bootstrap_median_ci(&sorted, 500, 7);
+        assert!(lo <= 51.0 && 51.0 <= hi, "CI [{lo}, {hi}] brackets 51");
+        assert!(lo >= 1.0 && hi <= 101.0, "CI within the sample range");
+        // Deterministic for a fixed seed.
+        assert_eq!(bootstrap_median_ci(&sorted, 500, 7), (lo, hi));
+        // Degenerate inputs.
+        assert_eq!(bootstrap_median_ci(&[4.0], 100, 1), (4.0, 4.0));
+        assert!(bootstrap_median_ci(&[], 100, 1).0.is_nan());
+    }
+
+    #[test]
+    fn fast_routines_calibrate_and_complete() {
+        // A sub-nanosecond routine must still terminate calibration and
+        // produce samples (the old iters=1 probe underflowed to huge
+        // per-sample iteration counts on quantized timers).
+        let mut c = Criterion::default().sample_size(5);
+        let mut hits = 0u64;
+        c.bench_function("calibration-smoke", |b| {
+            b.iter(|| {
+                hits += 1;
+                black_box(hits)
+            })
+        });
+        assert!(hits > 0);
+    }
 }
